@@ -1,0 +1,46 @@
+// Ablation (DESIGN.md): the knowledge-free sampler's frequency oracle —
+// plain Count-Min (the paper's Algorithm 2) vs the conservative-update
+// variant — across sketch shapes, under the peak attack.  Conservative
+// update gives strictly tighter point estimates; the question is whether
+// that translates into a better sampling gain.
+#include "common.hpp"
+
+int main() {
+  using namespace unisamp;
+  bench::banner("Ablation", "plain Count-Min vs conservative update",
+                "peak attack Zipf alpha = 4, m = 100000, n = 1000, c = 10");
+
+  const std::size_t n = 1000;
+  const std::uint64_t m = 100000;
+  const auto counts = counts_from_weights(zipf_weights(n, 4.0), m, 1);
+  const Stream input = exact_stream(counts, 141);
+
+  AsciiTable table;
+  table.set_header({"k", "s", "G_KL plain CM", "G_KL conservative"});
+  CsvWriter csv(bench::results_dir() + "/ablation_sketch.csv");
+  csv.header({"k", "s", "gain_plain", "gain_conservative"});
+
+  for (auto [k, s] : {std::pair<std::size_t, std::size_t>{10, 5},
+                      std::pair<std::size_t, std::size_t>{10, 17},
+                      std::pair<std::size_t, std::size_t>{50, 5},
+                      std::pair<std::size_t, std::size_t>{50, 10},
+                      std::pair<std::size_t, std::size_t>{100, 5}}) {
+    const auto params =
+        CountMinParams::from_dimensions(k, s, 1000 + k * 10 + s);
+    KnowledgeFreeSampler plain(10, params, 77);
+    ConservativeKnowledgeFreeSampler cons(10, params, 77);
+    const double g_plain = bench::gain(input, plain.run(input), n);
+    const double g_cons = bench::gain(input, cons.run(input), n);
+    table.add_row({std::to_string(k), std::to_string(s),
+                   format_double(g_plain, 4), format_double(g_cons, 4)});
+    csv.row_numeric({static_cast<double>(k), static_cast<double>(s), g_plain,
+                     g_cons});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nconservative update tightens f-hat for rare ids (their "
+              "insertion probability\nrises toward the ideal), at identical "
+              "memory cost — a free-lunch refinement the\npaper's future "
+              "work could adopt.  Results in "
+              "bench_results/ablation_sketch.csv\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Extra (baseline comparison): omniscient / knowledge-free vs the min-wise
+// sampler of Bortnikov et al. [6] and naive reservoir sampling, under the
+// peak attack.  Quantifies the paper's Sec. I critique: min-wise is
+// eventually uniform but STATIC (no Freshness); reservoir follows the
+// input bias wholesale.
+#include <set>
+
+#include "baseline/minwise_sampler.hpp"
+#include "baseline/reservoir_sampler.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace unisamp;
+  bench::banner("Baseline comparison",
+                "omniscient / knowledge-free / min-wise / reservoir",
+                "peak attack Zipf alpha = 4, m = 100000, n = 1000, c = 10");
+
+  const std::size_t n = 1000;
+  const std::uint64_t m = 100000;
+  const auto counts = counts_from_weights(zipf_weights(n, 4.0), m, 1);
+  const Stream input = exact_stream(counts, 131);
+
+  auto late_distinct = [&](const Stream& out) {
+    std::set<NodeId> seen(out.end() - out.size() / 4, out.end());
+    return seen.size();
+  };
+
+  AsciiTable table;
+  table.set_header({"sampler", "G_KL", "distinct ids in last quarter",
+                    "freshness"});
+
+  {
+    const Stream omni = bench::run_omniscient(input, n, 10, 132);
+    table.add_row({"omniscient (Alg. 1)",
+                   format_double(bench::gain(input, omni, n), 4),
+                   std::to_string(late_distinct(omni)), "yes"});
+  }
+  {
+    const Stream kf = bench::run_knowledge_free(input, 10, 10, 5, 133);
+    table.add_row({"knowledge-free (Alg. 3)",
+                   format_double(bench::gain(input, kf, n), 4),
+                   std::to_string(late_distinct(kf)), "yes"});
+  }
+  {
+    MinWiseSampler mw(10, 134);
+    const Stream out = mw.run(input);
+    table.add_row({"min-wise [6]", format_double(bench::gain(input, out, n), 4),
+                   std::to_string(late_distinct(out)),
+                   mw.steps_since_last_change() > m / 2 ? "NO (static)"
+                                                        : "degrading"});
+    std::printf("min-wise: %llu consecutive inputs without any sample "
+                "change (the staticity the paper criticises)\n",
+                static_cast<unsigned long long>(mw.steps_since_last_change()));
+  }
+  {
+    ReservoirSampler rs(10, 135);
+    const Stream out = rs.run(input);
+    table.add_row({"reservoir (Vitter R)",
+                   format_double(bench::gain(input, out, n), 4),
+                   std::to_string(late_distinct(out)), "yes (but biased)"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nreading: min-wise achieves uniform SELECTION but its output"
+              " freezes (few distinct\nids late in the stream); reservoir "
+              "keeps fresh but mirrors the attack bias; the\npaper's "
+              "samplers achieve both uniformity and freshness.\n");
+  return 0;
+}

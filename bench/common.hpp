@@ -1,0 +1,112 @@
+// Shared support for the figure/table reproduction binaries.
+//
+// Every binary prints a self-contained report to stdout (the rows/series of
+// the corresponding paper artefact) and, where a figure is a data series,
+// also writes a CSV next to the working directory under bench_results/ so
+// the curve can be re-plotted externally.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/sampling_service.hpp"
+#include "metrics/divergence.hpp"
+#include "stream/generators.hpp"
+#include "stream/histogram.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace unisamp::bench {
+
+/// Prints the standard experiment banner.
+inline void banner(const std::string& artefact, const std::string& what,
+                   const std::string& settings) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", artefact.c_str(), what.c_str());
+  if (!settings.empty()) std::printf("settings: %s\n", settings.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Directory for CSV outputs; created on demand.
+inline std::string results_dir() {
+  const std::string dir = "bench_results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+/// Runs a knowledge-free sampler (paper Algorithm 3) over `input` and
+/// returns the output stream.
+inline Stream run_knowledge_free(const Stream& input, std::size_t c,
+                                 std::size_t k, std::size_t s,
+                                 std::uint64_t seed) {
+  KnowledgeFreeSampler sampler(
+      c, CountMinParams::from_dimensions(k, s, derive_seed(seed, 1)),
+      derive_seed(seed, 2));
+  return sampler.run(input);
+}
+
+/// Runs the omniscient sampler (paper Algorithm 1) with exact empirical
+/// probabilities derived from the input stream itself.
+inline Stream run_omniscient(const Stream& input, std::uint64_t domain,
+                             std::size_t c, std::uint64_t seed) {
+  std::vector<double> p(domain, 0.0);
+  for (NodeId id : input)
+    if (id < domain) p[id] += 1.0;
+  double minp = 1e300, total = 0.0;
+  for (double x : p) {
+    if (x > 0.0) minp = std::min(minp, x);
+    total += x;
+  }
+  for (double& x : p) x = (x > 0.0 ? x : minp) / total;
+  OmniscientSampler sampler(c, std::move(p), derive_seed(seed, 3));
+  return sampler.run(input);
+}
+
+/// G_KL of output vs input over the id domain [0, n).
+inline double gain(const Stream& input, const Stream& output,
+                   std::uint64_t n) {
+  return kl_gain(empirical_distribution(input, n),
+                 empirical_distribution(output, n));
+}
+
+/// Trial-averaged output distribution (the paper "conducted and averaged
+/// 100 trials of the same experiment", Sec. VI-A).  A single run's output
+/// histogram is over-dispersed by Gamma-residency clumping — each id that
+/// enters the memory is emitted ~1/flow times in a burst — so the paper's
+/// KL numbers are only reproducible by averaging independent runs.
+template <typename RunFn>
+std::vector<double> averaged_distribution(std::uint64_t n, int trials,
+                                          RunFn&& run_one) {
+  std::vector<double> avg(n, 0.0);
+  for (int t = 0; t < trials; ++t) {
+    const Stream out = run_one(static_cast<std::uint64_t>(t));
+    const auto d = empirical_distribution(out, n);
+    for (std::uint64_t i = 0; i < n; ++i) avg[i] += d[i];
+  }
+  for (double& x : avg) x /= static_cast<double>(trials);
+  return avg;
+}
+
+/// Averaged knowledge-free output distribution over `trials` seeds.
+inline std::vector<double> averaged_kf_distribution(
+    const Stream& input, std::uint64_t n, std::size_t c, std::size_t k,
+    std::size_t s, std::uint64_t seed, int trials) {
+  return averaged_distribution(n, trials, [&](std::uint64_t t) {
+    return run_knowledge_free(input, c, k, s, derive_seed(seed, 100 + t));
+  });
+}
+
+/// Averaged omniscient output distribution over `trials` seeds.
+inline std::vector<double> averaged_omni_distribution(const Stream& input,
+                                                      std::uint64_t n,
+                                                      std::size_t c,
+                                                      std::uint64_t seed,
+                                                      int trials) {
+  return averaged_distribution(n, trials, [&](std::uint64_t t) {
+    return run_omniscient(input, n, c, derive_seed(seed, 200 + t));
+  });
+}
+
+}  // namespace unisamp::bench

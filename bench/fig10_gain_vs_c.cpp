@@ -1,0 +1,50 @@
+// Figure 10: G_KL as a function of the sampling-memory size c.
+//  (a) peak attack (Zipf alpha = 4) — expected: knowledge-free gain climbs
+//      to ~1 once c reaches a few hundred (paper: masked at c ~ 300).
+//  (b) targeted + flooding (truncated Poisson lambda = n/2) — expected:
+//      gain starts much lower (the attack succeeds at small c) and the
+//      attack is masked at larger c (paper: c ~ 700).
+// Settings: m = 100,000, n = 1,000, k = 10, s = 17.
+#include "adversary/attacks.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace unisamp;
+  bench::banner("Figure 10", "G_KL vs sampling memory size c",
+                "m = 100000, n = 1000, k = 10, s = 17");
+
+  const std::size_t n = 1000;
+  const std::uint64_t m = 100000;
+
+  const auto peak_counts = counts_from_weights(zipf_weights(n, 4.0), m, 1);
+  const Stream peak_input = exact_stream(peak_counts, 101);
+  const auto band = make_poisson_band_attack(n, m, 102);
+  const Stream& band_input = band.stream;
+
+  AsciiTable table;
+  table.set_header({"c", "(a) kf", "(a) omni", "(b) kf", "(b) omni"});
+  CsvWriter csv(bench::results_dir() + "/fig10_gain_vs_c.csv");
+  csv.header({"c", "gain_kf_peak", "gain_omni_peak", "gain_kf_band",
+              "gain_omni_band"});
+
+  for (std::size_t c : {10u, 25u, 50u, 100u, 200u, 300u, 500u, 700u, 1000u}) {
+    const Stream kf_a = bench::run_knowledge_free(peak_input, c, 10, 17, c + 7);
+    const Stream om_a = bench::run_omniscient(peak_input, n, c, c + 8);
+    const Stream kf_b = bench::run_knowledge_free(band_input, c, 10, 17, c + 9);
+    const Stream om_b = bench::run_omniscient(band_input, n, c, c + 11);
+    const double ga_kf = bench::gain(peak_input, kf_a, n);
+    const double ga_om = bench::gain(peak_input, om_a, n);
+    const double gb_kf = bench::gain(band_input, kf_b, n);
+    const double gb_om = bench::gain(band_input, om_b, n);
+    table.add_row({std::to_string(c), format_double(ga_kf, 4),
+                   format_double(ga_om, 4), format_double(gb_kf, 4),
+                   format_double(gb_om, 4)});
+    csv.row_numeric({static_cast<double>(c), ga_kf, ga_om, gb_kf, gb_om});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\n(a) = peak attack (Zipf alpha 4); (b) = targeted+flooding "
+              "(Poisson band).\nincreasing c is the defender's lever: the "
+              "knowledge-free gain climbs toward the omniscient one.\n"
+              "series written to bench_results/fig10_gain_vs_c.csv\n");
+  return 0;
+}

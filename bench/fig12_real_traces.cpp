@@ -1,0 +1,56 @@
+// Figure 12: Kullback-Leibler divergence between the different streams and
+// the uniform one, on the (calibrated) real traces, for two knowledge-free
+// configurations — c = k = log2(n) and c = k = 0.01 n — plus the omniscient
+// strategy.  Full-size traces (~2M ids each).
+//
+// Expected shape: KL(input) >> KL(knowledge-free, 0.01n) and
+// KL(knowledge-free, log n) sits in between; omniscient lowest.
+#include <cmath>
+
+#include "common.hpp"
+#include "stream/webtrace.hpp"
+
+int main() {
+  using namespace unisamp;
+  bench::banner("Figure 12", "KL divergence vs uniform on real traces",
+                "calibrated NASA / ClarkNet / Saskatchewan, s = 5");
+
+  AsciiTable table;
+  table.set_header({"trace", "KL input", "KL kf c=k=log n",
+                    "KL kf c=k=0.01n", "KL omniscient (c=0.01n)"});
+  CsvWriter csv(bench::results_dir() + "/fig12_real_traces.csv");
+  csv.header({"trace", "kl_input", "kl_kf_logn", "kl_kf_1pct", "kl_omni"});
+
+  // The paper averages 100 trials per setting; 5 are enough to wash out
+  // the Gamma-residency clumping at these stream lengths while keeping the
+  // bench under a minute.
+  constexpr int kTrials = 5;
+  for (const auto& spec : all_trace_specs()) {
+    const Stream input = generate_webtrace(spec, 121);
+    const std::uint64_t n = spec.distinct_ids;
+    const std::size_t logn = static_cast<std::size_t>(
+        std::ceil(std::log2(static_cast<double>(n))));
+    const std::size_t pct = static_cast<std::size_t>(n / 100);
+
+    const double kl_in = stream_kl_from_uniform(input, n);
+    const double kl_log = kl_from_uniform(bench::averaged_kf_distribution(
+        input, n, logn, logn, 5, 31, kTrials));
+    const double kl_pct = kl_from_uniform(bench::averaged_kf_distribution(
+        input, n, pct, pct, 5, 32, kTrials));
+    const double kl_om = kl_from_uniform(
+        bench::averaged_omni_distribution(input, n, pct, 33, kTrials));
+
+    table.add_row({spec.name, format_double(kl_in, 4),
+                   format_double(kl_log, 4), format_double(kl_pct, 4),
+                   format_double(kl_om, 4)});
+    csv.row({spec.name, CsvWriter::format(kl_in), CsvWriter::format(kl_log),
+             CsvWriter::format(kl_pct), CsvWriter::format(kl_om)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nnote: with c = k = log n the sketch is tiny relative to n, "
+              "so the knowledge-free\nreduction is modest; at c = k = 0.01n "
+              "it approaches the omniscient strategy —\nthe ordering the "
+              "paper's Fig. 12 bars show.\n"
+              "series written to bench_results/fig12_real_traces.csv\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 3: number of distinct malicious node identifiers L_{k,s} the
+// adversary must inject for a TARGETED attack, as a function of the number
+// of Count-Min columns k, for s = 10 rows and eta_T in {0.5, 1e-1..1e-6}.
+//
+// Expected shape (paper): linear in k, sublinear in eta_T; e.g. at k = 50,
+// s = 10: 150 ids for eta_T = 0.5 and 571 for eta_T = 1e-4.
+#include "analysis/urn.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace unisamp;
+  bench::banner("Figure 3", "targeted-attack effort L_{k,s} vs k",
+                "s = 10, eta_T in {0.5, 1e-1 .. 1e-6}, k = 10..500");
+
+  const std::vector<double> etas = {0.5, 1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6};
+  const std::uint64_t s = 10;
+
+  AsciiTable table;
+  table.set_header({"k", "eta=0.5", "1e-1", "1e-2", "1e-3", "1e-4", "1e-5",
+                    "1e-6"});
+  CsvWriter csv(bench::results_dir() + "/fig3_targeted_effort.csv");
+  csv.header({"k", "eta", "L_ks"});
+
+  for (std::uint64_t k = 10; k <= 500; k += 10) {
+    const auto efforts = targeted_attack_efforts(k, s, etas);
+    std::vector<std::string> row = {std::to_string(k)};
+    for (std::size_t i = 0; i < etas.size(); ++i) {
+      row.push_back(std::to_string(efforts[i]));
+      csv.row_numeric({static_cast<double>(k), etas[i],
+                       static_cast<double>(efforts[i])});
+    }
+    if (k % 50 == 0 || k == 10) table.add_row(row);
+  }
+  std::printf("%s", table.render().c_str());
+
+  // Paper's running example: k = 50, s = 10.  The prose says "150 distinct
+  // node identifiers" for eta = 0.5; the exact Eq. 2 solve gives 135 (the
+  // paper's Table I values for this k/s match us digit-for-digit, so the
+  // 150 is rounded prose).  L(1e-4) = 571 matches Table I exactly.
+  std::printf("\ncheck: k=50, s=10 -> L(0.5) = %llu (paper prose: ~150), "
+              "L(1e-4) = %llu (paper: 571)\n",
+              static_cast<unsigned long long>(
+                  targeted_attack_effort(50, 10, 0.5)),
+              static_cast<unsigned long long>(
+                  targeted_attack_effort(50, 10, 1e-4)));
+  std::printf("series written to bench_results/fig3_targeted_effort.csv\n");
+  return 0;
+}

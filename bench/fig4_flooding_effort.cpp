@@ -1,0 +1,43 @@
+// Figure 4: number of distinct malicious node identifiers E_k the adversary
+// must inject for a FLOODING attack (cover every sketch counter), as a
+// function of k, for eta_F in {0.5, 1e-1..1e-6}.  Independent of s.
+//
+// Expected shape (paper): coupon-collector growth ~ k ln k; E_k upper
+// bounds L_{k,s} for the plotted s regime.
+#include "analysis/urn.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace unisamp;
+  bench::banner("Figure 4", "flooding-attack effort E_k vs k",
+                "eta_F in {0.5, 1e-1 .. 1e-6}, k = 10..500");
+
+  const std::vector<double> etas = {0.5, 1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6};
+
+  AsciiTable table;
+  table.set_header({"k", "eta=0.5", "1e-1", "1e-2", "1e-3", "1e-4", "1e-5",
+                    "1e-6", "k*H_k (mean)"});
+  CsvWriter csv(bench::results_dir() + "/fig4_flooding_effort.csv");
+  csv.header({"k", "eta", "E_k"});
+
+  for (std::uint64_t k = 10; k <= 500; k += 10) {
+    const auto efforts = flooding_attack_efforts(k, etas);
+    std::vector<std::string> row = {std::to_string(k)};
+    for (std::size_t i = 0; i < etas.size(); ++i) {
+      row.push_back(std::to_string(efforts[i]));
+      csv.row_numeric({static_cast<double>(k), etas[i],
+                       static_cast<double>(efforts[i])});
+    }
+    row.push_back(format_double(coupon_collector_mean(k), 4));
+    if (k % 50 == 0 || k == 10) table.add_row(row);
+  }
+  std::printf("%s", table.render().c_str());
+
+  std::printf("\ncheck: k=50 -> E(1e-1) = %llu (paper: ~300), "
+              "E(1e-4) = %llu (paper: ~650)\n",
+              static_cast<unsigned long long>(flooding_attack_effort(50, 0.1)),
+              static_cast<unsigned long long>(
+                  flooding_attack_effort(50, 1e-4)));
+  std::printf("series written to bench_results/fig4_flooding_effort.csv\n");
+  return 0;
+}

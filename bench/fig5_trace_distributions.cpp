@@ -1,0 +1,48 @@
+// Figure 5: log-log frequency distribution of the three traces.  Prints
+// the rank/frequency curve at geometrically spaced ranks (straight line on
+// log-log = Zipfian, the paper's observation) and writes the full series.
+#include <cmath>
+
+#include "common.hpp"
+#include "stream/webtrace.hpp"
+
+int main() {
+  using namespace unisamp;
+  bench::banner("Figure 5", "log-log rank/frequency distribution per trace",
+                "calibrated traces, full size");
+
+  CsvWriter csv(bench::results_dir() + "/fig5_trace_distributions.csv");
+  csv.header({"trace", "rank", "frequency"});
+
+  AsciiTable table;
+  table.set_header({"rank", "NASA", "ClarkNet", "Saskatchewan"});
+  std::vector<std::vector<std::uint64_t>> freqs;
+  for (const auto& spec : all_trace_specs()) {
+    FrequencyHistogram h;
+    h.add_stream(generate_webtrace(spec, 1));
+    freqs.push_back(h.sorted_frequencies());
+    for (std::size_t rank = 1; rank <= freqs.back().size(); rank *= 2)
+      csv.row({spec.name, std::to_string(rank),
+               std::to_string(freqs.back()[rank - 1])});
+  }
+  for (std::size_t rank = 1; rank <= 131072; rank *= 4) {
+    std::vector<std::string> row = {std::to_string(rank)};
+    for (const auto& f : freqs)
+      row.push_back(rank <= f.size() ? std::to_string(f[rank - 1]) : "-");
+    table.add_row(row);
+  }
+  std::printf("%s", table.render().c_str());
+
+  // Log-log slope between rank 1 and rank 1000 (the Zipf exponent).
+  std::printf("\nlog-log slope rank 1 -> 1000:");
+  const char* names[] = {"NASA", "ClarkNet", "Saskatchewan"};
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    const double slope = std::log(static_cast<double>(freqs[i][999]) /
+                                  static_cast<double>(freqs[i][0])) /
+                         std::log(1000.0);
+    std::printf("  %s: %.3f", names[i], slope);
+  }
+  std::printf("\n(straight-line decay on log-log = the Zipfian behaviour the"
+              " paper reports)\n");
+  return 0;
+}

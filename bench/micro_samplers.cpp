@@ -1,0 +1,104 @@
+// Micro-benchmarks (google-benchmark): per-element cost of the sketch
+// operations and of each sampler's process() path.  The paper's model
+// requires that "the amount of computation per data element of the stream
+// must be low to keep pace with the data stream" (Sec. III-A) — these
+// numbers substantiate that claim for the implementation.
+#include <benchmark/benchmark.h>
+
+#include "baseline/minwise_sampler.hpp"
+#include "baseline/reservoir_sampler.hpp"
+#include "core/knowledge_free_sampler.hpp"
+#include "core/omniscient_sampler.hpp"
+#include "sketch/count_min.hpp"
+#include "stream/generators.hpp"
+
+namespace {
+using namespace unisamp;
+
+Stream biased_stream(std::size_t n, std::size_t m) {
+  return exact_stream(counts_from_weights(zipf_weights(n, 4.0), m, 1), 11);
+}
+
+void BM_CountMinUpdate(benchmark::State& state) {
+  CountMinSketch sketch(CountMinParams::from_dimensions(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(1)), 1));
+  const Stream stream = biased_stream(1000, 1 << 14);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sketch.update(stream[i++ & ((1 << 14) - 1)]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinUpdate)->Args({10, 5})->Args({50, 10})->Args({250, 10});
+
+void BM_CountMinEstimate(benchmark::State& state) {
+  CountMinSketch sketch(CountMinParams::from_dimensions(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(1)), 1));
+  const Stream stream = biased_stream(1000, 1 << 14);
+  for (NodeId id : stream) sketch.update(id);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.estimate(stream[i++ & ((1 << 14) - 1)]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinEstimate)->Args({10, 5})->Args({50, 10})->Args({250, 10});
+
+void BM_KnowledgeFreeProcess(benchmark::State& state) {
+  KnowledgeFreeSampler sampler(
+      static_cast<std::size_t>(state.range(0)),
+      CountMinParams::from_dimensions(10, 5, 3), 4);
+  const Stream stream = biased_stream(1000, 1 << 14);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.process(stream[i++ & ((1 << 14) - 1)]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KnowledgeFreeProcess)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_OmniscientProcess(benchmark::State& state) {
+  const std::size_t n = 1000;
+  const auto counts = counts_from_weights(zipf_weights(n, 4.0), 100000, 1);
+  std::vector<double> p(n);
+  double total = 0;
+  for (auto c : counts) total += static_cast<double>(c);
+  for (std::size_t j = 0; j < n; ++j)
+    p[j] = static_cast<double>(counts[j]) / total;
+  OmniscientSampler sampler(static_cast<std::size_t>(state.range(0)), p, 5);
+  const Stream stream = biased_stream(n, 1 << 14);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.process(stream[i++ & ((1 << 14) - 1)]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OmniscientProcess)->Arg(10)->Arg(100);
+
+void BM_MinWiseProcess(benchmark::State& state) {
+  MinWiseSampler sampler(static_cast<std::size_t>(state.range(0)), 6);
+  const Stream stream = biased_stream(1000, 1 << 14);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.process(stream[i++ & ((1 << 14) - 1)]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MinWiseProcess)->Arg(1)->Arg(10);
+
+void BM_ReservoirProcess(benchmark::State& state) {
+  ReservoirSampler sampler(10, 7);
+  const Stream stream = biased_stream(1000, 1 << 14);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.process(stream[i++ & ((1 << 14) - 1)]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReservoirProcess);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Extra (extension): online attack detection quality.  Feeds the detector
+// benign and attacked streams and reports signal rates per window —
+// the operator-facing companion to the sampler's silent robustness.
+#include "adversary/attacks.hpp"
+#include "common.hpp"
+#include "core/attack_detector.hpp"
+
+namespace {
+using namespace unisamp;
+
+struct Scenario {
+  const char* name;
+  Stream stream;
+  AttackSignal expected;
+};
+
+DetectorConfig sensitive() {
+  DetectorConfig cfg;
+  cfg.window = 10000;
+  cfg.heavy_capacity = 256;
+  cfg.hll_precision = 12;
+  cfg.peak_factor = 6.0;
+  cfg.seed = 5;
+  return cfg;
+}
+}  // namespace
+
+int main() {
+  using namespace unisamp;
+  bench::banner("Online diagnostics",
+                "attack detector signal rates per scenario",
+                "window = 10000, 256 heavy slots, HLL p=12");
+
+  std::vector<Scenario> scenarios;
+  {
+    WeightedStreamGenerator gen(uniform_weights(1000), 3);
+    scenarios.push_back({"benign uniform", gen.take(60000),
+                         AttackSignal::kNone});
+  }
+  {
+    // alpha = 0.2 keeps the top id ~3x its fair share — clearly organic.
+    // (alpha ~ 0.3 sits right AT the sensitive profile's threshold: the
+    // detector trades false positives for band-attack sensitivity.)
+    WeightedStreamGenerator gen(zipf_weights(1000, 0.2), 5);
+    scenarios.push_back({"benign mild zipf", gen.take(60000),
+                         AttackSignal::kNone});
+  }
+  {
+    const auto counts = peak_attack_counts(1000, 0, 40000, 20);
+    scenarios.push_back({"peak attack", exact_stream(counts, 7),
+                         AttackSignal::kPeak});
+  }
+  {
+    const auto attack = make_poisson_band_attack(1000, 60000, 9);
+    scenarios.push_back({"poisson band (targeted+flooding)", attack.stream,
+                         AttackSignal::kPeak});
+  }
+  {
+    // Flooding: benign phase then thousands of fresh ids.
+    WeightedStreamGenerator gen(uniform_weights(400), 11);
+    Stream s = gen.take(20000);
+    Xoshiro256 rng(13);
+    for (int i = 0; i < 40000; ++i)
+      s.push_back(rng.bernoulli(0.6) ? 1'000'000 + rng.next_below(8000)
+                                     : gen.next());
+    scenarios.push_back({"sybil flood (fresh ids)", std::move(s),
+                        AttackSignal::kFlooding});
+  }
+
+  AsciiTable table;
+  table.set_header({"scenario", "windows", "alarmed", "worst signal",
+                    "expected", "verdict"});
+  for (auto& sc : scenarios) {
+    AttackDetector detector(sensitive());
+    for (NodeId id : sc.stream) detector.observe(id);
+    std::size_t alarmed = 0;
+    for (const auto& r : detector.history())
+      if (r.signal != AttackSignal::kNone) ++alarmed;
+    const AttackSignal worst = detector.worst_signal();
+    table.add_row({sc.name, std::to_string(detector.history().size()),
+                   std::to_string(alarmed), std::string(to_string(worst)),
+                   std::string(to_string(sc.expected)),
+                   worst == sc.expected ? "ok" : "MISMATCH"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nthe detector complements the sampler: the service keeps the"
+              " output uniform\nwhile the detector tells the operator WHY "
+              "the input looked wrong.\n");
+  return 0;
+}

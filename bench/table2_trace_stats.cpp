@@ -1,0 +1,31 @@
+// Table II: statistics of the real data traces.  The original Internet
+// Traffic Archive logs are not available offline; we regenerate calibrated
+// synthetic traces (DESIGN.md §4) and verify their statistics reproduce the
+// paper's published numbers EXACTLY (stream size, distinct ids, max freq).
+#include "common.hpp"
+#include "stream/webtrace.hpp"
+
+int main() {
+  using namespace unisamp;
+  bench::banner("Table II", "statistics of (calibrated) data traces", "");
+
+  AsciiTable table;
+  table.set_header({"trace", "# ids (m)", "paper m", "# distinct (n)",
+                    "paper n", "max freq", "paper max", "fitted alpha"});
+  for (const auto& spec : all_trace_specs()) {
+    const Stream trace = generate_webtrace(spec, /*seed=*/1);
+    const TraceStats stats = compute_stats(trace);
+    table.add_row({spec.name, format_with_commas(stats.stream_size),
+                   format_with_commas(spec.stream_size),
+                   format_with_commas(stats.distinct_ids),
+                   format_with_commas(spec.distinct_ids),
+                   format_with_commas(stats.max_frequency),
+                   format_with_commas(spec.max_frequency),
+                   format_double(fit_zipf_alpha(spec), 3)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nall three statistics match the paper's Table II exactly by\n"
+              "construction; the Zipf tail exponent is fitted so the curve\n"
+              "through (rank 1, max freq) integrates to m over n ranks.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Extra (paper future work, Sec. VII): transient behaviour of the sampler
+// chain — TV distance to stationarity over time, mixing times, and the
+// weakly-lumped inclusion chain that the paper's programme (weak
+// lumpability, Rubino & Sericola) would analyse.
+#include "analysis/transient.hpp"
+#include "common.hpp"
+
+#include <numeric>
+
+int main() {
+  using namespace unisamp;
+  bench::banner("Transient analysis",
+                "mixing of the Algorithm 1 chain (paper future work)", "");
+
+  auto make_chain = [](unsigned n, unsigned c, double decay) {
+    std::vector<double> p(n);
+    double v = 1.0;
+    for (unsigned i = 0; i < n; ++i) {
+      p[i] = v;
+      v *= decay;
+    }
+    const double sum = std::accumulate(p.begin(), p.end(), 0.0);
+    for (double& x : p) x /= sum;
+    return SamplerChain(omniscient_parameters(c, p));
+  };
+
+  AsciiTable table;
+  table.set_header({"n", "c", "bias decay", "|S|", "t_mix(0.25)",
+                    "t_mix(0.05)", "lumped entry rate", "lumped exit rate"});
+  CsvWriter csv(bench::results_dir() + "/transient_mixing.csv");
+  csv.header({"n", "c", "decay", "t", "tv"});
+
+  struct Case {
+    unsigned n, c;
+    double decay;
+  };
+  for (const Case k : {Case{8, 2, 0.8}, Case{8, 2, 0.5}, Case{10, 3, 0.7},
+                       Case{12, 2, 0.6}}) {
+    const auto chain = make_chain(k.n, k.c, k.decay);
+    TransientAnalysis ta(chain);
+    const auto lumped = lump_inclusion_chain(chain, k.n - 1);  // rarest id
+    table.add_row({std::to_string(k.n), std::to_string(k.c),
+                   format_double(k.decay, 2),
+                   std::to_string(chain.state_count()),
+                   std::to_string(ta.mixing_time(0.25)),
+                   std::to_string(ta.mixing_time(0.05)),
+                   format_double(lumped.rate_in, 3),
+                   format_double(lumped.rate_out, 3)});
+    const auto curve = ta.tv_curve(0, 400);
+    for (std::size_t t = 0; t < curve.size(); t += 20)
+      csv.row_numeric({static_cast<double>(k.n), static_cast<double>(k.c),
+                       k.decay, static_cast<double>(t), curve[t]});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nstronger input bias (smaller decay) -> rarer rarest-id -> smaller\n"
+      "insertion probabilities -> slower mixing: the transient cost of the\n"
+      "omniscient strategy's unbiasing, quantified.  The lumped in/out\n"
+      "rates give the 2-state marginal chain per id (weak lumpability holds\n"
+      "under the omniscient parameters; verified in tests).\n"
+      "series written to bench_results/transient_mixing.csv\n");
+  return 0;
+}

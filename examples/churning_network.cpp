@@ -1,0 +1,99 @@
+// Churn and adaptivity demo — life around the paper's T0 assumption.
+//
+//   build/examples/churning_network
+//
+// Phase 1 (pre-T0): a 40-node overlay churns (nodes leave and rejoin) while
+// gossip runs; the churn report checks the paper's weak-connectivity
+// assumption over the churn phase.  Phase 2 (post-T0): membership freezes,
+// the byzantine members keep flooding, and we compare the paper's
+// knowledge-free sampler against the decaying-sketch extension when the
+// adversary SWITCHES its forged identities halfway — the stationarity
+// violation the decaying sketch is built for.
+#include <cstdio>
+
+#include "core/knowledge_free_sampler.hpp"
+#include "sim/churn.hpp"
+#include "sim/topology.hpp"
+#include "stream/generators.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace unisamp;
+
+  // --- Phase 1: churn until T0 --------------------------------------------
+  GossipConfig gossip;
+  gossip.fanout = 2;
+  gossip.seed = 77;
+  gossip.byzantine_count = 4;
+  gossip.flood_factor = 10;
+  gossip.forged_id_count = 4;
+
+  ServiceConfig sampler;
+  sampler.strategy = Strategy::kKnowledgeFree;
+  sampler.memory_size = 10;
+  sampler.sketch_width = 6;
+  sampler.sketch_depth = 4;
+  sampler.record_output = false;
+
+  GossipNetwork net(Topology::random_regular(40, 5, 5), gossip, sampler);
+  ChurnConfig churn;
+  churn.pre_t0_rounds = 60;
+  churn.leave_probability = 0.08;
+  churn.rejoin_probability = 0.3;
+  churn.seed = 9;
+  const auto report = run_churn_phase_with_report(net, churn);
+  std::printf("pre-T0 churn: %zu join/leave events over %zu rounds; correct "
+              "subgraph connected in %zu/%zu rounds (min active %zu)\n",
+              report.events, report.rounds, report.connected_rounds,
+              report.rounds, report.min_active_seen);
+
+  net.run_rounds(60);  // post-T0 stable operation
+  std::printf("post-T0: node 20 processed %llu ids, sample = %llu\n\n",
+              static_cast<unsigned long long>(net.service(20).processed()),
+              static_cast<unsigned long long>(*net.service(20).sample()));
+
+  // --- Phase 2: identity-switching adversary vs decaying sketch -----------
+  // Build the switching stream directly: background uniform over 200 ids;
+  // the adversary floods ids {0..4} for the first half, then {100..104}.
+  const std::size_t n = 200;
+  Stream input;
+  for (int phase = 0; phase < 2; ++phase) {
+    std::vector<std::uint64_t> counts(n, 40);
+    for (std::size_t i = 0; i < 5; ++i)
+      counts[(phase == 0 ? 0 : 100) + i] = 2500;
+    const Stream part = exact_stream(counts, 31 + phase);
+    input.insert(input.end(), part.begin(), part.end());
+  }
+  const auto params = CountMinParams::from_dimensions(20, 5, 7);
+  KnowledgeFreeSampler plain(10, params, 8);
+  DecayingKnowledgeFreeSampler decaying(
+      10, DecayingCountMinSketch(params, 4000), 8);
+
+  auto flood_share_second_half = [&](const Stream& out) {
+    std::size_t hits = 0;
+    for (std::size_t i = out.size() / 2; i < out.size(); ++i)
+      if (out[i] >= 100 && out[i] < 105) ++hits;
+    return 100.0 * static_cast<double>(hits) /
+           static_cast<double>(out.size() / 2);
+  };
+  const Stream out_plain = plain.run(input);
+  const Stream out_decaying = decaying.run(input);
+
+  AsciiTable table;
+  table.set_header({"sampler", "2nd-phase flood share of output",
+                    "input share"});
+  const double in_share = 100.0 * 5.0 * 2500.0 /
+                          (static_cast<double>(n) * 40.0 + 5 * 2500.0 - 200);
+  table.add_row({"knowledge-free (paper)",
+                 format_double(flood_share_second_half(out_plain), 3) + "%",
+                 format_double(in_share, 3) + "%"});
+  table.add_row({"decaying sketch (extension)",
+                 format_double(flood_share_second_half(out_decaying), 3) + "%",
+                 format_double(in_share, 3) + "%"});
+  std::printf("%s", table.render().c_str());
+  std::printf("\nwhen the adversary switches identities mid-stream, the "
+              "decaying sketch's\nestimates follow the recent window and "
+              "keep suppressing the new flood; the\nplain sketch amortises "
+              "over stale history.\n");
+  return 0;
+}

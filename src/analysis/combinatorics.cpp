@@ -1,0 +1,99 @@
+#include "analysis/combinatorics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace unisamp {
+
+std::uint64_t binomial(unsigned n, unsigned k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  // Multiplicative formula; after step i the partial product equals
+  // C(n-k+i, i), so the division is always exact.  128-bit intermediate
+  // catches overflow of the final value.
+  __uint128_t result = 1;
+  for (unsigned i = 1; i <= k; ++i) {
+    result = result * (n - k + i) / i;
+    if (result > static_cast<__uint128_t>(UINT64_MAX))
+      throw std::overflow_error("binomial exceeds 64 bits");
+  }
+  return static_cast<std::uint64_t>(result);
+}
+
+double log_binomial(unsigned n, unsigned k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+std::vector<Subset> enumerate_subsets(unsigned n, unsigned c) {
+  if (c > n) throw std::invalid_argument("c > n");
+  std::vector<Subset> all;
+  all.reserve(binomial(n, c));
+  Subset cur(c);
+  for (unsigned i = 0; i < c; ++i) cur[i] = i;
+  if (c == 0) {
+    all.push_back({});
+    return all;
+  }
+  while (true) {
+    all.push_back(cur);
+    // next combination in lexicographic order of the sorted tuple; we then
+    // sort the output by colex rank to match subset_rank order.
+    int i = static_cast<int>(c) - 1;
+    while (i >= 0 && cur[i] == n - c + static_cast<unsigned>(i)) --i;
+    if (i < 0) break;
+    ++cur[i];
+    for (unsigned j = static_cast<unsigned>(i) + 1; j < c; ++j)
+      cur[j] = cur[j - 1] + 1;
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Subset& a, const Subset& b) {
+              return subset_rank(a) < subset_rank(b);
+            });
+  return all;
+}
+
+std::uint64_t subset_rank(const Subset& subset) {
+  std::uint64_t rank = 0;
+  for (std::size_t i = 0; i < subset.size(); ++i)
+    rank += binomial(subset[i], static_cast<unsigned>(i) + 1);
+  return rank;
+}
+
+Subset subset_unrank(std::uint64_t rank, unsigned n, unsigned c) {
+  Subset out(c);
+  std::uint64_t r = rank;
+  unsigned upper = n;
+  for (unsigned pos = c; pos >= 1; --pos) {
+    // Largest v < upper with C(v, pos) <= r (linear scan; state spaces are
+    // small in every use of this function).
+    unsigned v = upper;
+    while (v > 0) {
+      --v;
+      if (binomial(v, pos) <= r) break;
+    }
+    out[pos - 1] = v;
+    r -= binomial(v, pos);
+    upper = v;
+  }
+  return out;
+}
+
+bool single_swap(const Subset& a, const Subset& b, unsigned& out_leaving,
+                 unsigned& out_entering) {
+  if (a.size() != b.size()) return false;
+  std::vector<unsigned> only_a, only_b;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(only_a));
+  std::set_difference(b.begin(), b.end(), a.begin(), a.end(),
+                      std::back_inserter(only_b));
+  if (only_a.size() != 1 || only_b.size() != 1) return false;
+  out_leaving = only_a[0];
+  out_entering = only_b[0];
+  return true;
+}
+
+}  // namespace unisamp

@@ -1,0 +1,40 @@
+// Combinatorial substrate for the Markov-chain analysis of Algorithm 1.
+//
+// The chain's state space is S = { A subset of N : |A| = c } with
+// |S| = C(n, c) (Sec. IV-A).  To build and solve the chain numerically we
+// need to enumerate, rank and unrank c-subsets of [0, n) in the
+// combinatorial number system, plus exact binomials.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace unisamp {
+
+/// Exact binomial coefficient C(n, k); throws std::overflow_error if the
+/// value does not fit in 64 bits.
+std::uint64_t binomial(unsigned n, unsigned k);
+
+/// log(C(n, k)) via lgamma — safe for any size.
+double log_binomial(unsigned n, unsigned k);
+
+/// A c-subset of [0, n), kept sorted ascending.
+using Subset = std::vector<unsigned>;
+
+/// All c-subsets of [0, n) in colexicographic rank order; size C(n, c).
+/// Intended for small state spaces (the Markov verification uses n <= 12).
+std::vector<Subset> enumerate_subsets(unsigned n, unsigned c);
+
+/// Rank of a sorted c-subset in the combinatorial number system
+/// (colex order): rank(A) = sum_i C(A[i], i+1).
+std::uint64_t subset_rank(const Subset& subset);
+
+/// Inverse of subset_rank.
+Subset subset_unrank(std::uint64_t rank, unsigned n, unsigned c);
+
+/// True if the sorted subsets differ by exactly one element; if so reports
+/// the element leaving `a` and the one entering from `b`.
+bool single_swap(const Subset& a, const Subset& b, unsigned& out_leaving,
+                 unsigned& out_entering);
+
+}  // namespace unisamp

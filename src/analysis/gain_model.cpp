@@ -1,0 +1,77 @@
+#include "analysis/gain_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "metrics/divergence.hpp"
+
+namespace unisamp {
+
+GainModelOutput evaluate_gain_model(const GainModelInput& input) {
+  const std::size_t n = input.frequencies.size();
+  if (n == 0) throw std::invalid_argument("empty frequency vector");
+  if (input.c == 0 || input.k == 0)
+    throw std::invalid_argument("c and k must be positive");
+  const double m =
+      std::accumulate(input.frequencies.begin(), input.frequencies.end(), 0.0);
+  if (m <= 0.0) throw std::invalid_argument("zero total frequency");
+
+  GainModelOutput out;
+  out.admission.resize(n);
+  out.residency.resize(n);
+  out.output_share.resize(n);
+
+  // Sketch geometry: expected row-collision mass for id j is the rest of
+  // the stream spread over k columns; the row minimum over s rows is close
+  // to the expectation for the small s the paper uses, so we model
+  //   f-hat_j ~ f_j + (m - f_j) / k.
+  // min_sigma ~ the smallest column load ~ m/k scaled by a balance factor:
+  // we use the expectation m/k (all columns near-equal when n >> k).
+  const double kd = static_cast<double>(input.k);
+  const double min_sigma = m / kd;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double fhat =
+        input.frequencies[j] + (m - input.frequencies[j]) / kd;
+    out.admission[j] = std::min(1.0, min_sigma / fhat);
+  }
+
+  // Mean-field fixed point for residencies q_j with the constraint
+  // sum q_j = c (memory always full once warmed up).
+  const double cd = static_cast<double>(input.c);
+  std::vector<double> p(n);
+  for (std::size_t j = 0; j < n; ++j) p[j] = input.frequencies[j] / m;
+
+  std::vector<double>& q = out.residency;
+  std::fill(q.begin(), q.end(), std::min(1.0, cd / static_cast<double>(n)));
+  for (int iter = 0; iter < 500; ++iter) {
+    // Total admission flow from absent ids.
+    double flow = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+      flow += p[j] * out.admission[j] * (1.0 - q[j]);
+    const double evict_rate = flow / cd;  // per-resident eviction rate
+    double change = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double in_rate = p[j] * out.admission[j];
+      const double next =
+          in_rate / (in_rate + evict_rate + 1e-300);
+      change += std::fabs(next - q[j]);
+      q[j] = next;
+    }
+    // Renormalise to the memory budget (mean-field closure).
+    const double total_q = std::accumulate(q.begin(), q.end(), 0.0);
+    if (total_q > 0.0)
+      for (double& x : q) x = std::min(1.0, x * cd / total_q);
+    if (change < 1e-12) break;
+  }
+
+  const double total_q = std::accumulate(q.begin(), q.end(), 0.0);
+  for (std::size_t j = 0; j < n; ++j)
+    out.output_share[j] = total_q > 0.0 ? q[j] / total_q : 0.0;
+
+  out.predicted_kl_gain = kl_gain(p, out.output_share);
+  return out;
+}
+
+}  // namespace unisamp

@@ -1,0 +1,137 @@
+#include "analysis/markov.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace unisamp {
+
+SamplerChainParams omniscient_parameters(unsigned c,
+                                         const std::vector<double>& p) {
+  if (p.empty()) throw std::invalid_argument("empty probability vector");
+  SamplerChainParams params;
+  params.n = static_cast<unsigned>(p.size());
+  params.c = c;
+  params.p = p;
+  const double pmin = *std::min_element(p.begin(), p.end());
+  if (pmin <= 0.0)
+    throw std::invalid_argument("all occurrence probabilities must be > 0");
+  params.a.resize(p.size());
+  for (std::size_t j = 0; j < p.size(); ++j) params.a[j] = pmin / p[j];
+  params.r.assign(p.size(), 1.0 / static_cast<double>(p.size()));
+  return params;
+}
+
+SamplerChain::SamplerChain(SamplerChainParams params)
+    : params_(std::move(params)) {
+  const unsigned n = params_.n;
+  const unsigned c = params_.c;
+  if (c == 0 || c >= n)
+    throw std::invalid_argument("need 0 < c < n");
+  if (params_.p.size() != n || params_.a.size() != n || params_.r.size() != n)
+    throw std::invalid_argument("parameter vectors must have size n");
+  for (unsigned j = 0; j < n; ++j) {
+    if (params_.p[j] <= 0.0 || params_.a[j] <= 0.0 || params_.a[j] > 1.0 ||
+        params_.r[j] <= 0.0)
+      throw std::invalid_argument("invalid chain parameters");
+  }
+
+  states_ = enumerate_subsets(n, c);
+  const std::size_t S = states_.size();
+  if (S > 20000)
+    throw std::invalid_argument(
+        "state space too large for dense analysis (C(n,c) > 20000)");
+  matrix_.assign(S * S, 0.0);
+
+  for (std::size_t ai = 0; ai < S; ++ai) {
+    const Subset& A = states_[ai];
+    double r_sum = 0.0;
+    for (unsigned l : A) r_sum += params_.r[l];
+    double off_diagonal = 0.0;
+    for (std::size_t bi = 0; bi < S; ++bi) {
+      if (bi == ai) continue;
+      unsigned leaving = 0, entering = 0;
+      if (!single_swap(A, states_[bi], leaving, entering)) continue;
+      const double prob = params_.r[leaving] / r_sum * params_.p[entering] *
+                          params_.a[entering];
+      matrix_[ai * S + bi] = prob;
+      off_diagonal += prob;
+    }
+    matrix_[ai * S + ai] = 1.0 - off_diagonal;
+  }
+}
+
+std::vector<double> SamplerChain::stationary_power_iteration(
+    double tol, std::size_t max_iters) const {
+  const std::size_t S = states_.size();
+  std::vector<double> pi(S, 1.0 / static_cast<double>(S));
+  std::vector<double> next(S, 0.0);
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t i = 0; i < S; ++i) {
+      const double pii = pi[i];
+      if (pii == 0.0) continue;
+      const double* row = &matrix_[i * S];
+      for (std::size_t j = 0; j < S; ++j) next[j] += pii * row[j];
+    }
+    double diff = 0.0;
+    for (std::size_t j = 0; j < S; ++j) diff += std::fabs(next[j] - pi[j]);
+    pi.swap(next);
+    if (diff < tol) break;
+  }
+  // Normalise against drift.
+  const double sum = std::accumulate(pi.begin(), pi.end(), 0.0);
+  for (double& x : pi) x /= sum;
+  return pi;
+}
+
+std::vector<double> SamplerChain::stationary_closed_form() const {
+  const std::size_t S = states_.size();
+  std::vector<double> pi(S, 0.0);
+  for (std::size_t i = 0; i < S; ++i) {
+    const Subset& A = states_[i];
+    double r_sum = 0.0;
+    double log_prod = 0.0;
+    for (unsigned h : A) {
+      r_sum += params_.r[h];
+      log_prod +=
+          std::log(params_.p[h] * params_.a[h] / params_.r[h]);
+    }
+    pi[i] = r_sum * std::exp(log_prod);
+  }
+  const double K = std::accumulate(pi.begin(), pi.end(), 0.0);
+  for (double& x : pi) x /= K;
+  return pi;
+}
+
+double SamplerChain::reversibility_defect(const std::vector<double>& pi) const {
+  const std::size_t S = states_.size();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < S; ++i)
+    for (std::size_t j = 0; j < S; ++j)
+      worst = std::max(worst, std::fabs(pi[i] * matrix_[i * S + j] -
+                                        pi[j] * matrix_[j * S + i]));
+  return worst;
+}
+
+std::vector<double> SamplerChain::inclusion_probabilities(
+    const std::vector<double>& pi) const {
+  std::vector<double> gamma(params_.n, 0.0);
+  for (std::size_t i = 0; i < states_.size(); ++i)
+    for (unsigned l : states_[i]) gamma[l] += pi[i];
+  return gamma;
+}
+
+double SamplerChain::stochasticity_defect() const {
+  const std::size_t S = states_.size();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < S; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < S; ++j) row += matrix_[i * S + j];
+    worst = std::max(worst, std::fabs(row - 1.0));
+  }
+  return worst;
+}
+
+}  // namespace unisamp

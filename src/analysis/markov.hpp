@@ -1,0 +1,77 @@
+// Markov-chain model of Algorithm 1 (Sec. IV-A) and numerical machinery to
+// verify Theorems 3-5 on concrete instances.
+//
+// State space: S = { A subset of [0,n) : |A| = c }, |S| = C(n, c).
+// Transition (A -> B with A\B = {i}, B\A = {j}):
+//     P_{A,B} = r_i / (sum_{l in A} r_l) * p_j * a_j
+// Diagonal: P_{A,A} = 1 - sum_{j not in A} p_j a_j.
+//
+// Theorem 3 gives the reversible stationary distribution
+//     pi_A = (1/K) (sum_{l in A} r_l) (prod_{h in A} p_h a_h / r_h);
+// with the paper's choice a_j = min_i(p_i)/p_j, r_j = 1/n it collapses to
+// pi_A = 1/C(n,c), hence gamma_l = P{l in Gamma} = c/n (Theorem 4) and the
+// output is uniform (Corollary 5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/combinatorics.hpp"
+
+namespace unisamp {
+
+/// Parameters of the sampler chain.  All vectors have size n.
+struct SamplerChainParams {
+  unsigned n = 0;         ///< population size
+  unsigned c = 0;         ///< sampler memory size, c < n
+  std::vector<double> p;  ///< occurrence probabilities (sum to 1, all > 0)
+  std::vector<double> a;  ///< insertion probabilities, in (0, 1]
+  std::vector<double> r;  ///< removal weights, > 0
+};
+
+/// The paper's omniscient choice: a_j = min_i(p_i) / p_j, r_j = 1/n.
+SamplerChainParams omniscient_parameters(unsigned c,
+                                         const std::vector<double>& p);
+
+/// Dense sampler chain over the C(n, c) subset states.
+class SamplerChain {
+ public:
+  explicit SamplerChain(SamplerChainParams params);
+
+  std::size_t state_count() const { return states_.size(); }
+  const std::vector<Subset>& states() const { return states_; }
+  const SamplerChainParams& params() const { return params_; }
+
+  /// Row-stochastic transition matrix, row-major state_count x state_count.
+  const std::vector<double>& transition_matrix() const { return matrix_; }
+  double transition(std::size_t from, std::size_t to) const {
+    return matrix_[from * states_.size() + to];
+  }
+
+  /// Stationary distribution by power iteration (the chain is irreducible
+  /// and aperiodic, Sec. IV-A).  Converges when L1 change < tol.
+  std::vector<double> stationary_power_iteration(double tol = 1e-13,
+                                                 std::size_t max_iters = 200000) const;
+
+  /// Theorem 3 closed form, normalised.
+  std::vector<double> stationary_closed_form() const;
+
+  /// Max |pi_A P_{A,B} - pi_B P_{B,A}| over all state pairs — zero (up to
+  /// rounding) iff the chain is reversible w.r.t. pi.
+  double reversibility_defect(const std::vector<double>& pi) const;
+
+  /// gamma_l = P{l in Gamma} under pi, for every id l (Theorem 4 predicts
+  /// c/n under the omniscient parameters).
+  std::vector<double> inclusion_probabilities(
+      const std::vector<double>& pi) const;
+
+  /// Max row-sum deviation from 1 (sanity: the matrix is stochastic).
+  double stochasticity_defect() const;
+
+ private:
+  SamplerChainParams params_;
+  std::vector<Subset> states_;
+  std::vector<double> matrix_;
+};
+
+}  // namespace unisamp

@@ -1,0 +1,87 @@
+#include "analysis/stirling.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace unisamp {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// log(exp(a) + exp(b)) without overflow.
+double log_add(double a, double b) {
+  if (a == kNegInf) return b;
+  if (b == kNegInf) return a;
+  const double m = a > b ? a : b;
+  return m + std::log1p(std::exp((a > b ? b : a) - m));
+}
+}  // namespace
+
+std::uint64_t stirling2(unsigned l, unsigned i) {
+  if (l == 0 || i == 0) return (l == 0 && i == 0) ? 1 : 0;
+  if (i > l) return 0;
+  // Row recursion, exact; row[j] = S(row_index, j).
+  std::vector<std::uint64_t> row(l + 1, 0);
+  row[1] = 1;  // S(1,1) = 1
+  for (unsigned ll = 2; ll <= l; ++ll) {
+    for (unsigned j = std::min(ll, i); j >= 1; --j) {
+      const std::uint64_t keep = (j != ll) ? row[j] : 0;
+      const std::uint64_t carry = (j != 1) ? row[j - 1] : 0;
+      if (keep != 0 && j > UINT64_MAX / keep)
+        throw std::overflow_error("stirling2 exceeds 64 bits");
+      const std::uint64_t scaled = static_cast<std::uint64_t>(j) * keep;
+      if (scaled > UINT64_MAX - carry)
+        throw std::overflow_error("stirling2 exceeds 64 bits");
+      row[j] = carry + scaled;
+    }
+  }
+  return row[i];
+}
+
+std::vector<double> log_stirling2_row(unsigned l) {
+  std::vector<double> row(l, kNegInf);
+  if (l == 0) return row;
+  row[0] = 0.0;  // log S(1,1)
+  std::vector<double> next;
+  for (unsigned ll = 2; ll <= l; ++ll) {
+    next.assign(ll, kNegInf);
+    for (unsigned j = 1; j <= ll; ++j) {
+      const double keep =
+          (j != ll && j - 1 < row.size()) ? row[j - 1] : kNegInf;
+      const double carry = (j != 1) ? row[j - 2] : kNegInf;
+      const double scaled =
+          keep == kNegInf ? kNegInf : keep + std::log(static_cast<double>(j));
+      next[j - 1] = log_add(carry, scaled);
+    }
+    row.swap(next);
+  }
+  return row;
+}
+
+double log_stirling2(unsigned l, unsigned i) {
+  if (l == 0 && i == 0) return 0.0;
+  if (i == 0 || i > l) return kNegInf;
+  const auto row = log_stirling2_row(l);
+  return row[i - 1];
+}
+
+long double stirling2_explicit(unsigned l, unsigned i) {
+  if (i == 0) return l == 0 ? 1.0L : 0.0L;
+  if (i > l) return 0.0L;
+  long double sum = 0.0L;
+  long double binom = 1.0L;  // C(i, h), updated incrementally
+  for (unsigned h = 0; h <= i; ++h) {
+    const long double term =
+        binom * std::pow(static_cast<long double>(i - h),
+                         static_cast<long double>(l));
+    sum += (h % 2 == 0) ? term : -term;
+    binom = binom * static_cast<long double>(i - h) /
+            static_cast<long double>(h + 1);
+  }
+  long double fact = 1.0L;
+  for (unsigned v = 2; v <= i; ++v) fact *= static_cast<long double>(v);
+  return sum / fact;
+}
+
+}  // namespace unisamp

@@ -1,0 +1,31 @@
+// Stirling numbers of the second kind S(l, i) — the combinatorial core of
+// Theorem 6: P{N_l = i} = S(l, i) * k! / (k^l * (k-i)!).
+//
+// S(l, i) grows super-exponentially, so three computation paths are offered:
+//  * exact 64-bit values via the recursion (3) for small l (tests),
+//  * log-space table via the same recursion with log-sum-exp (any l),
+//  * the explicit alternating formula (4) in long double (cross-checks).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace unisamp {
+
+/// Exact S(l, i) via recursion (3): S(l,i) = S(l-1,i-1)[i!=1] + i*S(l-1,i)[i!=l].
+/// Throws std::overflow_error if the value exceeds 64 bits.
+std::uint64_t stirling2(unsigned l, unsigned i);
+
+/// log S(l, i); -inf when S(l, i) = 0 (i == 0 or i > l).
+double log_stirling2(unsigned l, unsigned i);
+
+/// Full row log S(l, 1..l) computed in one sweep (row-by-row recursion);
+/// result[i-1] = log S(l, i).
+std::vector<double> log_stirling2_row(unsigned l);
+
+/// Explicit formula (4): S(l, i) = (1/i!) sum_h (-1)^h C(i,h) (i-h)^l,
+/// evaluated in long double.  Accurate for moderate l (cancellation grows
+/// with i); used as an independent cross-check in tests.
+long double stirling2_explicit(unsigned l, unsigned i);
+
+}  // namespace unisamp

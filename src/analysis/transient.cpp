@@ -1,0 +1,119 @@
+#include "analysis/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace unisamp {
+
+double tv_distance(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("distribution sizes differ");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::fabs(a[i] - b[i]);
+  return 0.5 * s;
+}
+
+TransientAnalysis::TransientAnalysis(const SamplerChain& chain)
+    : chain_(chain), pi_(chain.stationary_power_iteration()) {}
+
+std::vector<double> TransientAnalysis::step(
+    const std::vector<double>& mu) const {
+  const std::size_t S = chain_.state_count();
+  std::vector<double> next(S, 0.0);
+  const auto& P = chain_.transition_matrix();
+  for (std::size_t i = 0; i < S; ++i) {
+    const double m = mu[i];
+    if (m == 0.0) continue;
+    const double* row = &P[i * S];
+    for (std::size_t j = 0; j < S; ++j) next[j] += m * row[j];
+  }
+  return next;
+}
+
+std::vector<double> TransientAnalysis::distribution_after(
+    std::size_t start_state, std::size_t t) const {
+  std::vector<double> mu(chain_.state_count(), 0.0);
+  mu.at(start_state) = 1.0;
+  for (std::size_t i = 0; i < t; ++i) mu = step(mu);
+  return mu;
+}
+
+std::vector<double> TransientAnalysis::tv_curve(std::size_t start_state,
+                                                std::size_t horizon) const {
+  std::vector<double> curve;
+  curve.reserve(horizon + 1);
+  std::vector<double> mu(chain_.state_count(), 0.0);
+  mu.at(start_state) = 1.0;
+  curve.push_back(tv_distance(mu, pi_));
+  for (std::size_t t = 1; t <= horizon; ++t) {
+    mu = step(mu);
+    curve.push_back(tv_distance(mu, pi_));
+  }
+  return curve;
+}
+
+std::size_t TransientAnalysis::mixing_time(double eps,
+                                           std::size_t max_steps) const {
+  const std::size_t S = chain_.state_count();
+  // Evolve every deterministic start simultaneously (S distributions);
+  // by convexity the worst start bounds every start.  For the state-space
+  // sizes this class targets (C(n,c) <= a few hundred) this is cheap.
+  std::vector<std::vector<double>> mus(S);
+  for (std::size_t i = 0; i < S; ++i) {
+    mus[i].assign(S, 0.0);
+    mus[i][i] = 1.0;
+  }
+  for (std::size_t t = 0; t <= max_steps; ++t) {
+    double worst = 0.0;
+    for (const auto& mu : mus) worst = std::max(worst, tv_distance(mu, pi_));
+    if (worst <= eps) return t;
+    for (auto& mu : mus) mu = step(mu);
+  }
+  return max_steps;
+}
+
+LumpedInclusionChain lump_inclusion_chain(const SamplerChain& chain,
+                                          unsigned id) {
+  const auto& states = chain.states();
+  const std::size_t S = states.size();
+  const auto pi = chain.stationary_power_iteration();
+
+  LumpedInclusionChain out{0.0, 0.0, 0.0, 0.0};
+  double w_in = 0.0, w_out = 0.0;
+  double min_in = 1e300, max_in = -1e300;
+  double min_out = 1e300, max_out = -1e300;
+
+  for (std::size_t a = 0; a < S; ++a) {
+    const bool a_has =
+        std::find(states[a].begin(), states[a].end(), id) != states[a].end();
+    // Probability of crossing the partition from state a in one step.
+    double cross = 0.0;
+    for (std::size_t b = 0; b < S; ++b) {
+      if (b == a) continue;
+      const bool b_has =
+          std::find(states[b].begin(), states[b].end(), id) !=
+          states[b].end();
+      if (a_has != b_has) cross += chain.transition(a, b);
+    }
+    if (a_has) {
+      out.rate_out += pi[a] * cross;
+      w_in += pi[a];
+      min_in = std::min(min_in, cross);
+      max_in = std::max(max_in, cross);
+    } else {
+      out.rate_in += pi[a] * cross;
+      w_out += pi[a];
+      min_out = std::min(min_out, cross);
+      max_out = std::max(max_out, cross);
+    }
+  }
+  if (w_in > 0.0) out.rate_out /= w_in;
+  if (w_out > 0.0) out.rate_in /= w_out;
+  out.max_rate_spread_in = (max_in > min_in) ? max_in - min_in : 0.0;
+  out.max_rate_spread_out = (max_out > min_out) ? max_out - min_out : 0.0;
+  return out;
+}
+
+}  // namespace unisamp

@@ -1,0 +1,80 @@
+// Transient behaviour of the sampler chain — the paper's stated future
+// work ("we plan to analyze the transient behavior of the sampling service
+// by using the results on weak lumpability in Markov chains", Sec. VII).
+//
+// We provide the numerical side of that programme:
+//  * distribution evolution mu_t = mu_0 P^t from any start state,
+//  * total-variation distance to stationarity d_TV(t),
+//  * mixing time  t_mix(eps) = min{ t : d_TV(t) <= eps },
+//  * the LUMPED inclusion chain: by the symmetry of Algorithm 1 under the
+//    omniscient parameters, the indicator "id l is in Gamma" evolves as a
+//    2-state chain (in/out) — the weak-lumpability structure the paper
+//    points at.  We expose its transition rates and verify numerically
+//    that the lumped chain reproduces the marginal of the full chain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/markov.hpp"
+
+namespace unisamp {
+
+/// Total-variation distance between two distributions on the same space.
+double tv_distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Transient analyser for a sampler chain.
+class TransientAnalysis {
+ public:
+  explicit TransientAnalysis(const SamplerChain& chain);
+
+  /// One step of the chain: mu <- mu P.
+  std::vector<double> step(const std::vector<double>& mu) const;
+
+  /// Distribution after t steps from a deterministic start state.
+  std::vector<double> distribution_after(std::size_t start_state,
+                                         std::size_t t) const;
+
+  /// d_TV(mu_t, pi) for t = 0..horizon, from a deterministic start state.
+  std::vector<double> tv_curve(std::size_t start_state,
+                               std::size_t horizon) const;
+
+  /// Mixing time from the WORST deterministic start state:
+  /// min{ t : max_A d_TV(delta_A P^t, pi) <= eps }.  Searches up to
+  /// `max_steps`; returns max_steps if not reached (callers should treat
+  /// that as "slower than horizon").
+  std::size_t mixing_time(double eps, std::size_t max_steps = 100000) const;
+
+  const std::vector<double>& stationary() const { return pi_; }
+
+ private:
+  const SamplerChain& chain_;
+  std::vector<double> pi_;
+};
+
+/// The 2-state lumped chain for one id l (in Gamma / out of Gamma) under
+/// the omniscient parameters.  Exact rates derived from the full chain:
+///   P{out -> in}  = p_l a_l                       (l read and admitted)
+///   P{in -> out}  = (1/c) sum_{j != l} p_j a_j * q
+/// where q corrects for reads of ids already in Gamma.  We compute the
+/// exact rates by projecting the full transition matrix, then verify
+/// lumpability: the projected rates must be identical for every state in
+/// the lump (which holds under the omniscient choice by symmetry).
+struct LumpedInclusionChain {
+  double rate_in;    ///< P{l enters Gamma | l not in Gamma} (averaged)
+  double rate_out;   ///< P{l leaves Gamma | l in Gamma} (averaged)
+  double max_rate_spread_in;   ///< max deviation of per-state rates (lumpability defect)
+  double max_rate_spread_out;
+
+  /// Stationary probability of "in" = rate_in / (rate_in + rate_out);
+  /// Theorem 4 predicts c/n under the omniscient parameters.
+  double stationary_inclusion() const {
+    return rate_in / (rate_in + rate_out);
+  }
+};
+
+/// Projects the full chain onto the in/out partition for id l.
+LumpedInclusionChain lump_inclusion_chain(const SamplerChain& chain,
+                                          unsigned id);
+
+}  // namespace unisamp

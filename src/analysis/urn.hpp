@@ -1,0 +1,86 @@
+// Urn/occupancy model of Sec. V.
+//
+// Each Count-Min row is k urns; each distinct forged id is a ball thrown
+// uniformly (2-universal hashes).  N_l = number of occupied urns after l
+// balls.  The paper derives:
+//   * P{N_l = i} = S(l,i) k! / (k^l (k-i)!)              (Theorem 6)
+//   * P{N_l = N_{l-1}} = E[N_{l-1}] / k
+//   * L_{k,s} = inf{ l >= 2 : (P{N_l = N_{l-1}})^s > 1 - eta_T }   (Eq. 2)
+//     — min #distinct ids for a TARGETED attack to succeed w.p. 1-eta_T
+//   * P{U_k = l} = P{N_{l-1} = k-1} / k  (U_k = first time all urns busy)
+//   * E_k = inf{ l >= k : sum_{i=k}^l P{U_k = i} > 1 - eta_F }     (Eq. 5)
+//     — min #distinct ids for a FLOODING attack to succeed w.p. 1-eta_F
+//
+// We compute the occupancy distribution by the numerically stable one-step
+// recursion P{N_l=i} = ((k-i+1)/k) P{N_{l-1}=i-1} + (i/k) P{N_{l-1}=i}
+// (all terms positive — no cancellation), which Theorem 6's proof is built
+// from; tests cross-check it against the Stirling closed form.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace unisamp {
+
+/// Evolving distribution of N_l for a fixed number of urns k.
+class OccupancyDistribution {
+ public:
+  explicit OccupancyDistribution(std::uint64_t k);
+
+  /// Advances from l to l+1 (throws one more ball).
+  void step();
+
+  /// Current number of balls thrown (l); starts at 1 (P{N_1 = 1} = 1).
+  std::uint64_t balls() const { return balls_; }
+  std::uint64_t urns() const { return k_; }
+
+  /// P{N_l = i}, i in [1, min(k, l)]; 0 outside.
+  double pmf(std::uint64_t i) const;
+
+  /// E[N_l].
+  double mean() const;
+
+  /// P{N_{l+1} = N_l} = E[N_l] / k — probability the NEXT ball collides.
+  double next_collision_probability() const { return mean() / static_cast<double>(k_); }
+
+  /// P{N_l = k} — probability all urns are already occupied.
+  double all_occupied_probability() const { return pmf(k_); }
+
+ private:
+  std::uint64_t k_;
+  std::uint64_t balls_;
+  std::vector<double> pmf_;  // pmf_[i-1] = P{N_l = i}
+};
+
+/// Theorem 6 closed form via log-Stirling (for tests / cross-checks):
+/// P{N_l = i} = exp(log S(l,i) + log k! - l log k - log (k-i)!).
+double occupancy_pmf_closed_form(std::uint64_t k, std::uint64_t l,
+                                 std::uint64_t i);
+
+/// L_{k,s} (Eq. 2): minimum number of distinct malicious ids to make a
+/// targeted attack succeed with probability > 1 - eta_T.
+std::uint64_t targeted_attack_effort(std::uint64_t k, std::uint64_t s,
+                                     double eta_t);
+
+/// E_k (Eq. 5): minimum number of distinct malicious ids to make a flooding
+/// attack succeed with probability > 1 - eta_F.  Independent of s.
+std::uint64_t flooding_attack_effort(std::uint64_t k, double eta_f);
+
+/// Single-pass variants for sweeping many thresholds at once (the Fig. 3/4
+/// curves evaluate 7 eta values per k): one pmf/mean evolution per k, each
+/// threshold recorded as it is crossed.  etas need not be sorted.
+std::vector<std::uint64_t> targeted_attack_efforts(
+    std::uint64_t k, std::uint64_t s, std::span<const double> etas);
+std::vector<std::uint64_t> flooding_attack_efforts(
+    std::uint64_t k, std::span<const double> etas);
+
+/// P{U_k <= l}: probability that l balls fill all k urns (coupon-collector
+/// CDF); equals P{N_l = k}.
+double coupon_collector_cdf(std::uint64_t k, std::uint64_t l);
+
+/// Expected number of balls to fill k urns: k * H_k (for tests and the
+/// bench commentary).
+double coupon_collector_mean(std::uint64_t k);
+
+}  // namespace unisamp

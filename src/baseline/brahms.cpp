@@ -1,0 +1,173 @@
+#include "baseline/brahms.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace unisamp {
+
+BrahmsNode::BrahmsNode(NodeId self, const BrahmsConfig& config,
+                       std::uint64_t seed)
+    : self_(self),
+      config_(config),
+      history_(config.sampler_slots, derive_seed(seed, 0xB12A)),
+      rng_(derive_seed(seed, 0xB12B)) {
+  if (config.view_size == 0)
+    throw std::invalid_argument("view size must be positive");
+  const double mix = config.alpha + config.beta + config.gamma;
+  if (mix < 0.99 || mix > 1.01)
+    throw std::invalid_argument("alpha + beta + gamma must be ~1");
+}
+
+void BrahmsNode::bootstrap(const std::vector<NodeId>& initial_view) {
+  view_ = initial_view;
+  if (view_.size() > config_.view_size) view_.resize(config_.view_size);
+  for (NodeId id : view_) feed_history(id);
+}
+
+void BrahmsNode::feed_history(NodeId id) { history_.process(id); }
+
+void BrahmsNode::on_push(NodeId id) {
+  push_buffer_.push_back(id);
+  feed_history(id);
+}
+
+void BrahmsNode::on_pull_reply(const std::vector<NodeId>& partner_view) {
+  for (NodeId id : partner_view) {
+    pull_buffer_.push_back(id);
+    feed_history(id);
+  }
+}
+
+NodeId BrahmsNode::choose_pull_partner() {
+  if (view_.empty())
+    throw std::logic_error("pull partner requested from empty view");
+  return view_[rng_.next_below(view_.size())];
+}
+
+void BrahmsNode::end_round() {
+  if (push_buffer_.empty() && pull_buffer_.empty()) return;
+  // Brahms attack heuristic: if pushes flood in beyond the expected rate,
+  // the refreshed view still caps their share at alpha * v.
+  const std::size_t v = config_.view_size;
+  const std::size_t n_push = static_cast<std::size_t>(
+      config_.alpha * static_cast<double>(v) + 0.5);
+  const std::size_t n_pull = static_cast<std::size_t>(
+      config_.beta * static_cast<double>(v) + 0.5);
+  std::vector<NodeId> next;
+  next.reserve(v);
+  auto draw_from = [&](std::vector<NodeId>& pool, std::size_t want) {
+    for (std::size_t i = 0; i < want && !pool.empty(); ++i) {
+      const std::size_t pick = rng_.next_below(pool.size());
+      next.push_back(pool[pick]);
+      pool[pick] = pool.back();
+      pool.pop_back();
+    }
+  };
+  draw_from(push_buffer_, n_push);
+  draw_from(pull_buffer_, n_pull);
+  // History (gamma) share: uniform-converged min-wise samples.
+  const auto hist = history_sample();
+  while (next.size() < v && !hist.empty())
+    next.push_back(hist[rng_.next_below(hist.size())]);
+  if (!next.empty()) view_ = std::move(next);
+  push_buffer_.clear();
+  pull_buffer_.clear();
+}
+
+BrahmsNetwork::BrahmsNetwork(std::size_t n, std::size_t byzantine,
+                             const BrahmsConfig& config,
+                             std::size_t push_fanout,
+                             std::size_t flood_factor, std::uint64_t seed)
+    : byzantine_(byzantine),
+      config_(config),
+      push_fanout_(push_fanout),
+      flood_factor_(flood_factor),
+      rng_(derive_seed(seed, 0xB12C)) {
+  if (byzantine >= n)
+    throw std::invalid_argument("at least one correct node required");
+  nodes_.reserve(n - byzantine);
+  for (std::size_t i = byzantine; i < n; ++i)
+    nodes_.emplace_back(static_cast<NodeId>(i), config,
+                        derive_seed(seed, 0x9000 + i));
+  // Bootstrap: every correct node starts with a random view over the whole
+  // universe (byzantine ids included, as a bootstrap service would give).
+  for (auto& node : nodes_) {
+    std::vector<NodeId> initial;
+    for (std::size_t i = 0; i < config.view_size; ++i)
+      initial.push_back(static_cast<NodeId>(rng_.next_below(n)));
+    node.bootstrap(initial);
+  }
+}
+
+void BrahmsNetwork::run_round() {
+  const std::size_t n_correct = nodes_.size();
+  // Correct pushes: each node pushes its id to push_fanout_ view members
+  // that are correct (pushes to byzantine members are absorbed).
+  for (auto& sender : nodes_) {
+    for (std::size_t f = 0; f < push_fanout_; ++f) {
+      const auto& view = sender.view();
+      if (view.empty()) break;
+      const NodeId target = view[rng_.next_below(view.size())];
+      if (!is_byzantine(target) && target >= byzantine_ &&
+          target < byzantine_ + n_correct &&
+          target != sender.self()) {
+        nodes_[target - byzantine_].on_push(sender.self());
+      }
+    }
+  }
+  // Byzantine floods: each byzantine id is pushed flood_factor_ times to
+  // random correct nodes.
+  for (std::size_t b = 0; b < byzantine_; ++b) {
+    for (std::size_t f = 0; f < flood_factor_; ++f) {
+      auto& victim = nodes_[rng_.next_below(n_correct)];
+      victim.on_push(static_cast<NodeId>(b));
+    }
+  }
+  // Pulls: each correct node pulls one partner's view.  Pulling from a
+  // byzantine id returns an all-byzantine view (worst case).
+  for (auto& puller : nodes_) {
+    const NodeId partner = puller.choose_pull_partner();
+    if (is_byzantine(partner)) {
+      std::vector<NodeId> poisoned(config_.view_size);
+      for (auto& id : poisoned)
+        id = static_cast<NodeId>(rng_.next_below(byzantine_));
+      puller.on_pull_reply(poisoned);
+    } else if (partner >= byzantine_ &&
+               partner < byzantine_ + n_correct &&
+               partner != puller.self()) {
+      puller.on_pull_reply(nodes_[partner - byzantine_].view());
+    }
+  }
+  for (auto& node : nodes_) node.end_round();
+}
+
+void BrahmsNetwork::run_rounds(std::size_t rounds) {
+  for (std::size_t r = 0; r < rounds; ++r) run_round();
+}
+
+double BrahmsNetwork::view_pollution() const {
+  std::size_t bad = 0, total = 0;
+  for (const auto& node : nodes_) {
+    for (NodeId id : node.view()) {
+      if (is_byzantine(id)) ++bad;
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(bad) / static_cast<double>(total);
+}
+
+double BrahmsNetwork::history_pollution() const {
+  std::size_t bad = 0, total = 0;
+  for (const auto& node : nodes_) {
+    for (NodeId id : node.history_sample()) {
+      if (is_byzantine(id)) ++bad;
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(bad) / static_cast<double>(total);
+}
+
+}  // namespace unisamp

@@ -1,0 +1,115 @@
+// Brahms-style Byzantine-resilient membership (Bortnikov et al. [6]) — the
+// system the paper positions itself against.
+//
+// Each node maintains
+//  * a VIEW of v node ids used for gossip partner selection, refreshed
+//    every round as a mix of pushed ids (alpha share), pulled ids (beta
+//    share) and history samples (gamma share), and
+//  * a SAMPLER LIST of independent min-wise samplers fed with every id the
+//    node hears; these converge to uniform samples but are static after
+//    convergence (the staticity the DSN'13 paper criticises).
+//
+// The defining defence of Brahms is the push/pull mix plus the min-wise
+// history: flooding pushes can poison at most the alpha share of the view,
+// and the gamma share is re-seeded from the (uniform) history, so the view
+// cannot be fully eclipsed.  We reproduce exactly that mechanism; the
+// attack-rate limiting of the full protocol (at most 20% of pushes from
+// malicious nodes) is modelled by the flood factor of the scenario.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/minwise_sampler.hpp"
+#include "stream/types.hpp"
+#include "util/rng.hpp"
+
+namespace unisamp {
+
+struct BrahmsConfig {
+  std::size_t view_size = 8;      ///< v
+  double alpha = 0.45;            ///< push share of the refreshed view
+  double beta = 0.45;             ///< pull share
+  double gamma = 0.10;            ///< history (sampler) share
+  std::size_t sampler_slots = 8;  ///< min-wise samplers in the history list
+  std::uint64_t seed = 1;
+};
+
+/// One Brahms node.  The driver (BrahmsNetwork or a test) delivers pushes
+/// and pull replies; end_round() refreshes the view.
+class BrahmsNode {
+ public:
+  BrahmsNode(NodeId self, const BrahmsConfig& config, std::uint64_t seed);
+
+  NodeId self() const { return self_; }
+  const std::vector<NodeId>& view() const { return view_; }
+  std::vector<NodeId> history_sample() const { return history_.memory(); }
+
+  /// Seeds the initial view (bootstrap list).
+  void bootstrap(const std::vector<NodeId>& initial_view);
+
+  /// A push arrived (sender advertises its id).
+  void on_push(NodeId id);
+  /// A pull reply arrived (the partner's current view).
+  void on_pull_reply(const std::vector<NodeId>& partner_view);
+
+  /// Pick a partner from the current view to pull from.
+  NodeId choose_pull_partner();
+
+  /// Refreshes the view from this round's pushes/pulls/history and clears
+  /// the round buffers.  Degenerate rounds (no pushes AND no pulls) keep
+  /// the previous view, as in the protocol.
+  void end_round();
+
+  /// Every id heard this lifetime also feeds the min-wise history.
+  std::size_t pushes_this_round() const { return push_buffer_.size(); }
+
+ private:
+  void feed_history(NodeId id);
+
+  NodeId self_;
+  BrahmsConfig config_;
+  std::vector<NodeId> view_;
+  std::vector<NodeId> push_buffer_;
+  std::vector<NodeId> pull_buffer_;
+  MinWiseSampler history_;
+  Xoshiro256 rng_;
+};
+
+/// Synchronous-round driver over a full-mesh universe of `n` nodes where
+/// the first `byzantine` ids are adversarial: every round each correct
+/// node pushes its id to `push_fanout` random view members and pulls from
+/// one; byzantine nodes push their ids `flood_factor` times each to random
+/// correct nodes (and answer pulls with all-byzantine views).
+class BrahmsNetwork {
+ public:
+  BrahmsNetwork(std::size_t n, std::size_t byzantine,
+                const BrahmsConfig& config, std::size_t push_fanout,
+                std::size_t flood_factor, std::uint64_t seed);
+
+  void run_round();
+  void run_rounds(std::size_t rounds);
+
+  std::size_t size() const { return nodes_.size() + byzantine_; }
+  bool is_byzantine(NodeId id) const { return id < byzantine_; }
+
+  const BrahmsNode& node(std::size_t correct_index) const {
+    return nodes_[correct_index];
+  }
+  std::size_t correct_count() const { return nodes_.size(); }
+
+  /// Fraction of byzantine ids across all correct views.
+  double view_pollution() const;
+  /// Fraction of byzantine ids across all correct history samples.
+  double history_pollution() const;
+
+ private:
+  std::size_t byzantine_;
+  BrahmsConfig config_;
+  std::size_t push_fanout_;
+  std::size_t flood_factor_;
+  std::vector<BrahmsNode> nodes_;  // correct nodes only; id = byzantine_+i
+  Xoshiro256 rng_;
+};
+
+}  // namespace unisamp

@@ -1,0 +1,62 @@
+#include "baseline/minwise_sampler.hpp"
+
+#include <stdexcept>
+
+namespace unisamp {
+
+MinWiseSampler::MinWiseSampler(std::size_t c, std::uint64_t seed)
+    : rng_(derive_seed(seed, 0xB7)) {
+  if (c == 0) throw std::invalid_argument("memory capacity must be positive");
+  Xoshiro256 key_rng(seed);
+  slots_.reserve(c);
+  for (std::size_t i = 0; i < c; ++i)
+    slots_.push_back(Slot{MinWiseHash::random(key_rng)});
+}
+
+NodeId MinWiseSampler::process(NodeId id) {
+  bool changed = false;
+  for (Slot& slot : slots_) {
+    const std::uint64_t image = slot.hash(id);
+    if (!slot.occupied || image < slot.best_image) {
+      slot.best_image = image;
+      slot.best_id = id;
+      slot.occupied = true;
+      changed = true;
+    }
+  }
+  steps_since_change_ = changed ? 0 : steps_since_change_ + 1;
+  return sample();
+}
+
+NodeId MinWiseSampler::sample() {
+  if (!slots_[0].occupied)
+    throw std::logic_error("sample() before any id was processed");
+  // Uniform pick over occupied slots mirrors how Brahms exposes its sample
+  // list to the application.
+  std::size_t occupied = 0;
+  for (const Slot& s : slots_)
+    if (s.occupied) ++occupied;
+  std::size_t target = rng_.next_below(occupied);
+  for (const Slot& s : slots_) {
+    if (!s.occupied) continue;
+    if (target == 0) return s.best_id;
+    --target;
+  }
+  return slots_[0].best_id;  // unreachable
+}
+
+std::vector<NodeId> MinWiseSampler::memory() const {
+  std::vector<NodeId> out;
+  out.reserve(slots_.size());
+  for (const Slot& s : slots_)
+    if (s.occupied) out.push_back(s.best_id);
+  return out;
+}
+
+bool MinWiseSampler::converged_once() const {
+  for (const Slot& s : slots_)
+    if (!s.occupied) return false;
+  return true;
+}
+
+}  // namespace unisamp

@@ -1,0 +1,58 @@
+// Min-wise permutation sampler — the Bortnikov et al. [6] (Brahms sampler
+// component) baseline the paper positions itself against (Sec. I, II).
+//
+// Each memory slot holds an independent random min-wise hash and keeps the
+// id whose image under that hash is the smallest ever seen.  By min-wise
+// independence, once every node id has appeared at least once each slot
+// converges to a uniform sample — but it then NEVER changes again: the
+// sample is static and does not follow the system composition.  The paper's
+// critique (and the bench/baseline_comparison experiment) demonstrates
+// exactly this: uniformity holds eventually, Freshness does not.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+#include "core/sampler.hpp"
+#include "hash/minwise.hpp"
+#include "util/rng.hpp"
+
+namespace unisamp {
+
+class MinWiseSampler final : public NodeSampler {
+ public:
+  /// c independent min-wise slots (c = 1 reproduces [6]'s single-sample
+  /// component; Brahms composes c of them).
+  MinWiseSampler(std::size_t c, std::uint64_t seed);
+
+  NodeId process(NodeId id) override;
+  NodeId sample() override;
+  std::vector<NodeId> memory() const override;
+  std::size_t capacity() const override { return slots_.size(); }
+  std::string_view name() const override { return "minwise"; }
+
+  /// True once every slot holds some id.
+  bool converged_once() const;
+
+  /// Number of process() calls since any slot last changed — the
+  /// "staticity" the paper criticises grows without bound.
+  std::uint64_t steps_since_last_change() const {
+    return steps_since_change_;
+  }
+
+ private:
+  struct Slot {
+    MinWiseHash hash;
+    std::uint64_t best_image = std::numeric_limits<std::uint64_t>::max();
+    NodeId best_id = 0;
+    bool occupied = false;
+  };
+
+  std::vector<Slot> slots_;
+  Xoshiro256 rng_;
+  std::uint64_t steps_since_change_ = 0;
+};
+
+}  // namespace unisamp

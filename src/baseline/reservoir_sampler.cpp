@@ -1,0 +1,30 @@
+#include "baseline/reservoir_sampler.hpp"
+
+#include <stdexcept>
+
+namespace unisamp {
+
+ReservoirSampler::ReservoirSampler(std::size_t c, std::uint64_t seed)
+    : c_(c), rng_(seed) {
+  if (c == 0) throw std::invalid_argument("memory capacity must be positive");
+  reservoir_.reserve(c);
+}
+
+NodeId ReservoirSampler::process(NodeId id) {
+  ++seen_;
+  if (reservoir_.size() < c_) {
+    reservoir_.push_back(id);
+  } else {
+    const std::uint64_t slot = rng_.next_below(seen_);
+    if (slot < c_) reservoir_[slot] = id;
+  }
+  return sample();
+}
+
+NodeId ReservoirSampler::sample() {
+  if (reservoir_.empty())
+    throw std::logic_error("sample() before any id was processed");
+  return reservoir_[rng_.next_below(reservoir_.size())];
+}
+
+}  // namespace unisamp

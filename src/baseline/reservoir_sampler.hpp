@@ -1,0 +1,35 @@
+// Classical reservoir sampling (Vitter's Algorithm R) — the naive baseline.
+//
+// Uniform over STREAM POSITIONS, not over node ids: an id that occurs 1000x
+// more often is ~1000x more likely to sit in the reservoir.  Included to
+// quantify how badly a frequency-oblivious sampler loses under the paper's
+// attacks (bench/baseline_comparison).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/sampler.hpp"
+#include "util/rng.hpp"
+
+namespace unisamp {
+
+class ReservoirSampler final : public NodeSampler {
+ public:
+  ReservoirSampler(std::size_t c, std::uint64_t seed);
+
+  NodeId process(NodeId id) override;
+  NodeId sample() override;
+  std::vector<NodeId> memory() const override { return reservoir_; }
+  std::size_t capacity() const override { return c_; }
+  std::string_view name() const override { return "reservoir"; }
+
+ private:
+  std::size_t c_;
+  std::uint64_t seen_ = 0;
+  std::vector<NodeId> reservoir_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace unisamp

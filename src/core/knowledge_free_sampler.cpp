@@ -1,0 +1,11 @@
+#include "core/knowledge_free_sampler.hpp"
+
+namespace unisamp {
+
+// Explicit instantiations keep template bloat out of client TUs and make
+// sure both variants always compile.
+template class BasicKnowledgeFreeSampler<CountMinSketch>;
+template class BasicKnowledgeFreeSampler<ConservativeCountMinSketch>;
+template class BasicKnowledgeFreeSampler<DecayingCountMinSketch>;
+
+}  // namespace unisamp

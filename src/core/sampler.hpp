@@ -1,0 +1,45 @@
+// Node sampling service interface (Sec. IV).
+//
+// A sampler is a purely local, one-pass functionality: it reads the input
+// stream sigma_i of node i one identifier at a time and emits one identifier
+// to the output stream sigma'_i per input identifier (Algorithms 1 and 3
+// both `write k' in the output stream` on every read).  `sample()` exposes
+// S_i(t), the service's answer to "give me a random node", without
+// consuming input.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "stream/types.hpp"
+
+namespace unisamp {
+
+class NodeSampler {
+ public:
+  virtual ~NodeSampler() = default;
+
+  /// Processes one id from the input stream; returns the id written to the
+  /// output stream (uniform pick from the sampling memory Gamma).
+  virtual NodeId process(NodeId id) = 0;
+
+  /// S_i(t): a uniform pick from the current sampling memory.  Valid once
+  /// at least one id has been processed.
+  virtual NodeId sample() = 0;
+
+  /// Current contents of the sampling memory Gamma (<= c ids).
+  virtual std::vector<NodeId> memory() const = 0;
+
+  /// Capacity c of the sampling memory.
+  virtual std::size_t capacity() const = 0;
+
+  virtual std::string_view name() const = 0;
+
+  /// Convenience: runs a whole stream through the sampler and returns the
+  /// output stream.
+  Stream run(std::span<const NodeId> input);
+};
+
+}  // namespace unisamp

@@ -1,0 +1,64 @@
+#include "core/sampling_service.hpp"
+
+#include <stdexcept>
+
+namespace unisamp {
+
+std::string_view to_string(Strategy s) {
+  switch (s) {
+    case Strategy::kOmniscient:
+      return "omniscient";
+    case Strategy::kKnowledgeFree:
+      return "knowledge-free";
+    case Strategy::kConservativeSketch:
+      return "knowledge-free/conservative";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<NodeSampler> make_sampler(const ServiceConfig& config) {
+  switch (config.strategy) {
+    case Strategy::kOmniscient:
+      if (config.known_probabilities.empty())
+        throw std::invalid_argument(
+            "omniscient strategy needs known_probabilities");
+      return std::make_unique<OmniscientSampler>(
+          config.memory_size, config.known_probabilities, config.seed);
+    case Strategy::kKnowledgeFree:
+      return std::make_unique<KnowledgeFreeSampler>(
+          config.memory_size,
+          CountMinParams::from_dimensions(config.sketch_width,
+                                          config.sketch_depth, config.seed),
+          derive_seed(config.seed, 0x5A));
+    case Strategy::kConservativeSketch:
+      return std::make_unique<ConservativeKnowledgeFreeSampler>(
+          config.memory_size,
+          CountMinParams::from_dimensions(config.sketch_width,
+                                          config.sketch_depth, config.seed),
+          derive_seed(config.seed, 0x5A));
+  }
+  throw std::invalid_argument("unknown strategy");
+}
+
+SamplingService::SamplingService(ServiceConfig config)
+    : config_(std::move(config)), sampler_(make_sampler(config_)) {}
+
+NodeId SamplingService::on_receive(NodeId id) {
+  const NodeId out = sampler_->process(id);
+  if (config_.record_output) output_.push_back(out);
+  histogram_.add(out);
+  ++processed_;
+  return out;
+}
+
+void SamplingService::on_receive_stream(std::span<const NodeId> ids) {
+  if (config_.record_output) output_.reserve(output_.size() + ids.size());
+  for (NodeId id : ids) on_receive(id);
+}
+
+std::optional<NodeId> SamplingService::sample() {
+  if (processed_ == 0) return std::nullopt;
+  return sampler_->sample();
+}
+
+}  // namespace unisamp

@@ -1,0 +1,76 @@
+// Per-node sampling service facade (Fig. 1 / Fig. 2 of the paper).
+//
+// Wraps a sampling strategy, feeds it the node's input stream, records the
+// output stream and its frequency histogram, and answers S_i(t) queries.
+// This is the component a distributed application embeds; the gossip
+// simulator (src/sim) instantiates one per correct node.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/knowledge_free_sampler.hpp"
+#include "core/omniscient_sampler.hpp"
+#include "core/sampler.hpp"
+#include "stream/histogram.hpp"
+
+namespace unisamp {
+
+/// Which strategy the service runs.
+enum class Strategy {
+  kOmniscient,        ///< Algorithm 1 (requires known probabilities)
+  kKnowledgeFree,     ///< Algorithm 3 (Count-Min based)
+  kConservativeSketch ///< Algorithm 3 with conservative-update sketch
+};
+
+std::string_view to_string(Strategy s);
+
+/// Configuration of a sampling service instance.
+struct ServiceConfig {
+  Strategy strategy = Strategy::kKnowledgeFree;
+  std::size_t memory_size = 10;  ///< c
+  std::size_t sketch_width = 10; ///< k (knowledge-free only)
+  std::size_t sketch_depth = 5;  ///< s (knowledge-free only)
+  std::uint64_t seed = 1;
+  /// Omniscient only: p_j for ids [0, n).
+  std::vector<double> known_probabilities;
+  /// Record the full output stream (disable for long-running simulations
+  /// where only the histogram matters).
+  bool record_output = true;
+};
+
+/// Builds a bare sampler from a config (no recording facade).
+std::unique_ptr<NodeSampler> make_sampler(const ServiceConfig& config);
+
+class SamplingService {
+ public:
+  explicit SamplingService(ServiceConfig config);
+
+  /// Feeds one id from the input stream; returns the id emitted to the
+  /// output stream.
+  NodeId on_receive(NodeId id);
+
+  /// Feeds a whole stream.
+  void on_receive_stream(std::span<const NodeId> ids);
+
+  /// S_i(t).  nullopt before the first id arrives.
+  std::optional<NodeId> sample();
+
+  const Stream& output_stream() const { return output_; }
+  const FrequencyHistogram& output_histogram() const { return histogram_; }
+  std::uint64_t processed() const { return processed_; }
+  const ServiceConfig& config() const { return config_; }
+  const NodeSampler& sampler() const { return *sampler_; }
+
+ private:
+  ServiceConfig config_;
+  std::unique_ptr<NodeSampler> sampler_;
+  Stream output_;
+  FrequencyHistogram histogram_;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace unisamp

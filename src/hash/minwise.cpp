@@ -1,0 +1,3 @@
+#include "hash/minwise.hpp"
+
+// Header-only for now; this TU anchors the library target.

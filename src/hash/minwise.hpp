@@ -1,0 +1,40 @@
+// Min-wise permutation hashing — the substrate of the Bortnikov et al. [6]
+// (Brahms) sampler the paper compares against in Sections I and II.
+//
+// A min-wise independent permutation family guarantees that for any subset S
+// of the domain, every element of S has the same probability of attaining
+// the minimum image value.  True min-wise independence is expensive; like
+// practical systems we use an approximately min-wise family built from a
+// strong 64-bit mixer keyed by a random value, which is the standard
+// implementation choice (and the paper's analysis of the baseline does not
+// depend on the approximation).
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace unisamp {
+
+/// One keyed permutation-like map u64 -> u64; lower image = "smaller" under
+/// the permutation ordering.
+class MinWiseHash {
+ public:
+  explicit MinWiseHash(std::uint64_t key) noexcept : key_(key) {}
+
+  /// Draws a fresh random key.
+  static MinWiseHash random(Xoshiro256& rng) noexcept {
+    return MinWiseHash(rng());
+  }
+
+  std::uint64_t operator()(std::uint64_t x) const noexcept {
+    return SplitMix64::mix(x ^ key_);
+  }
+
+  std::uint64_t key() const noexcept { return key_; }
+
+ private:
+  std::uint64_t key_;
+};
+
+}  // namespace unisamp

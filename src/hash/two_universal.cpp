@@ -1,0 +1,28 @@
+#include "hash/two_universal.hpp"
+
+#include <stdexcept>
+
+namespace unisamp {
+
+TwoUniversalHash::TwoUniversalHash(std::uint64_t range, Xoshiro256& rng)
+    : range_(range),
+      a_(1 + rng.next_below(kMersennePrime - 1)),
+      b_(rng.next_below(kMersennePrime)) {
+  if (range == 0) throw std::invalid_argument("hash range must be positive");
+}
+
+TwoUniversalHash::TwoUniversalHash(std::uint64_t range, std::uint64_t a,
+                                   std::uint64_t b)
+    : range_(range), a_(a % kMersennePrime), b_(b % kMersennePrime) {
+  if (range == 0) throw std::invalid_argument("hash range must be positive");
+  if (a_ == 0) a_ = 1;
+}
+
+TwoUniversalFamily::TwoUniversalFamily(std::size_t count, std::uint64_t range,
+                                       std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  hashes_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) hashes_.emplace_back(range, rng);
+}
+
+}  // namespace unisamp

@@ -1,0 +1,76 @@
+// 2-universal hash family (Sec. III-D of the paper).
+//
+// Carter–Wegman construction over the Mersenne prime p = 2^61 - 1:
+//   h_{a,b}(x) = ((a*x + b) mod p) mod k
+// For any fixed x != y, P_{a,b}{h(x) = h(y)} <= 1/k, which is the
+// 2-universality property Algorithm 2 (Count-Min) relies on.  Coefficients
+// are drawn from a seeded PRNG; the adversary of the paper's model knows the
+// construction but not the coefficients ("no access to the local coins").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace unisamp {
+
+/// One member h : u64 -> [0, range) of a 2-universal family.
+class TwoUniversalHash {
+ public:
+  static constexpr std::uint64_t kMersennePrime = (1ULL << 61) - 1;
+
+  /// Draws random coefficients a in [1, p), b in [0, p).
+  TwoUniversalHash(std::uint64_t range, Xoshiro256& rng);
+
+  /// Deterministic construction (tests / serialization).
+  TwoUniversalHash(std::uint64_t range, std::uint64_t a, std::uint64_t b);
+
+  std::uint64_t operator()(std::uint64_t x) const noexcept {
+    return mod_mersenne(mul_mod(a_, mod_mersenne(x)) + b_) % range_;
+  }
+
+  std::uint64_t range() const noexcept { return range_; }
+  std::uint64_t coeff_a() const noexcept { return a_; }
+  std::uint64_t coeff_b() const noexcept { return b_; }
+
+ private:
+  // x mod (2^61-1) without division, valid for x < 2^122.
+  static std::uint64_t mod_mersenne(std::uint64_t x) noexcept {
+    std::uint64_t r = (x & kMersennePrime) + (x >> 61);
+    if (r >= kMersennePrime) r -= kMersennePrime;
+    return r;
+  }
+  static std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b) noexcept {
+    const __uint128_t prod = static_cast<__uint128_t>(a) * b;
+    const std::uint64_t lo = static_cast<std::uint64_t>(prod) & kMersennePrime;
+    const std::uint64_t hi = static_cast<std::uint64_t>(prod >> 61);
+    std::uint64_t r = lo + hi;
+    if (r >= kMersennePrime) r -= kMersennePrime;
+    return r;
+  }
+
+  std::uint64_t range_;
+  std::uint64_t a_;
+  std::uint64_t b_;
+};
+
+/// A bank of s independent members of the family, as Count-Min needs one
+/// hash function per row.
+class TwoUniversalFamily {
+ public:
+  TwoUniversalFamily(std::size_t count, std::uint64_t range,
+                     std::uint64_t seed);
+
+  std::uint64_t operator()(std::size_t index, std::uint64_t x) const noexcept {
+    return hashes_[index](x);
+  }
+
+  std::size_t size() const noexcept { return hashes_.size(); }
+  const TwoUniversalHash& at(std::size_t i) const { return hashes_.at(i); }
+
+ private:
+  std::vector<TwoUniversalHash> hashes_;
+};
+
+}  // namespace unisamp

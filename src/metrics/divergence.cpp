@@ -1,0 +1,132 @@
+#include "metrics/divergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace unisamp {
+
+double entropy(std::span<const double> v) {
+  double h = 0.0;
+  for (double p : v)
+    if (p > 0.0) h -= p * std::log(p);
+  return h;
+}
+
+double cross_entropy(std::span<const double> v, std::span<const double> w,
+                     double floor) {
+  if (v.size() != w.size())
+    throw std::invalid_argument("distribution sizes differ");
+  double h = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i)
+    if (v[i] > 0.0) h -= v[i] * std::log(std::max(w[i], floor));
+  return h;
+}
+
+double kl_divergence(std::span<const double> v, std::span<const double> w,
+                     double floor) {
+  if (v.size() != w.size())
+    throw std::invalid_argument("distribution sizes differ");
+  double d = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i)
+    if (v[i] > 0.0) d += v[i] * std::log(v[i] / std::max(w[i], floor));
+  return std::max(d, 0.0);  // clamp tiny negative rounding residue
+}
+
+double kl_from_uniform(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  const double u = 1.0 / static_cast<double>(v.size());
+  double d = 0.0;
+  for (double p : v)
+    if (p > 0.0) d += p * std::log(p / u);
+  return std::max(d, 0.0);
+}
+
+double kl_gain(std::span<const double> input_freq,
+               std::span<const double> output_freq) {
+  const double din = kl_from_uniform(input_freq);
+  const double dout = kl_from_uniform(output_freq);
+  constexpr double kEps = 1e-12;
+  if (din < kEps) return dout < kEps ? 1.0 : 0.0;
+  return 1.0 - dout / din;
+}
+
+double total_variation(std::span<const double> v, std::span<const double> w) {
+  if (v.size() != w.size())
+    throw std::invalid_argument("distribution sizes differ");
+  double s = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) s += std::fabs(v[i] - w[i]);
+  return 0.5 * s;
+}
+
+double chi_square_divergence(std::span<const double> v,
+                             std::span<const double> w, double floor) {
+  if (v.size() != w.size())
+    throw std::invalid_argument("distribution sizes differ");
+  double s = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double denom = std::max(w[i], floor);
+    const double d = v[i] - w[i];
+    s += d * d / denom;
+  }
+  return s;
+}
+
+double hellinger_distance(std::span<const double> v,
+                          std::span<const double> w) {
+  if (v.size() != w.size())
+    throw std::invalid_argument("distribution sizes differ");
+  double bc = 0.0;  // Bhattacharyya coefficient
+  for (std::size_t i = 0; i < v.size(); ++i) bc += std::sqrt(v[i] * w[i]);
+  return std::sqrt(std::max(0.0, 1.0 - bc));
+}
+
+double jensen_shannon(std::span<const double> v, std::span<const double> w) {
+  if (v.size() != w.size())
+    throw std::invalid_argument("distribution sizes differ");
+  double d = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double m = 0.5 * (v[i] + w[i]);
+    if (v[i] > 0.0) d += 0.5 * v[i] * std::log(v[i] / m);
+    if (w[i] > 0.0) d += 0.5 * w[i] * std::log(w[i] / m);
+  }
+  return std::max(d, 0.0);
+}
+
+double renyi_divergence(std::span<const double> v, std::span<const double> w,
+                        double alpha, double floor) {
+  if (v.size() != w.size())
+    throw std::invalid_argument("distribution sizes differ");
+  if (alpha <= 0.0 || alpha == 1.0)
+    throw std::invalid_argument("alpha must be positive and != 1");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] <= 0.0) continue;
+    sum += std::pow(v[i], alpha) * std::pow(std::max(w[i], floor), 1.0 - alpha);
+  }
+  return std::log(std::max(sum, floor)) / (alpha - 1.0);
+}
+
+std::vector<double> empirical_distribution(std::span<const std::uint64_t> ids,
+                                           std::uint64_t n) {
+  std::vector<double> freq(n, 0.0);
+  std::uint64_t counted = 0;
+  for (std::uint64_t id : ids) {
+    if (id < n) {
+      freq[id] += 1.0;
+      ++counted;
+    }
+  }
+  if (counted > 0) {
+    const double inv = 1.0 / static_cast<double>(counted);
+    for (double& f : freq) f *= inv;
+  }
+  return freq;
+}
+
+double stream_kl_from_uniform(std::span<const std::uint64_t> ids,
+                              std::uint64_t n) {
+  return kl_from_uniform(empirical_distribution(ids, n));
+}
+
+}  // namespace unisamp

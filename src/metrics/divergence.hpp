@@ -1,0 +1,78 @@
+// Statistical distances used by the paper's evaluation (Sec. VI).
+//
+// The paper measures the distance between a stream's empirical frequency
+// distribution and the uniform one with the Kullback-Leibler divergence
+//   D_KL(v || w) = sum_i v_i log(v_i / w_i) = H(v, w) - H(v)        (Eq. 6)
+// and reports the gain of the sampler as
+//   G_KL = 1 - D(sigma' || U) / D(sigma || U)
+// where sigma is the (biased) input stream, sigma' the output stream and U
+// the uniform distribution.  We also provide total-variation and chi-square
+// distances (members of the Ali-Silvey family the paper mentions) for
+// cross-checking in tests.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace unisamp {
+
+/// Empirical (Shannon) entropy H(v) = -sum v_i log v_i, natural log.
+/// Zero-probability entries contribute 0.
+double entropy(std::span<const double> v);
+
+/// Cross entropy H(v, w) = -sum v_i log w_i.  Entries with v_i > 0 and
+/// w_i == 0 would be infinite; they are smoothed by `floor` (see kl_divergence).
+double cross_entropy(std::span<const double> v, std::span<const double> w,
+                     double floor = 1e-12);
+
+/// D_KL(v || w).  Both inputs must be probability vectors of equal size.
+/// Entries of w below `floor` are clamped to `floor` (standard smoothing so
+/// that an id absent from the output stream yields a large-but-finite
+/// divergence instead of inf; matches how the paper's plots remain finite).
+double kl_divergence(std::span<const double> v, std::span<const double> w,
+                     double floor = 1e-12);
+
+/// D_KL(v || U) against the uniform distribution on v.size() ids.
+double kl_from_uniform(std::span<const double> v);
+
+/// G_KL = 1 - D(output||U)/D(input||U); 1 = perfectly unbiased output,
+/// 0 = no improvement, negative = sampler made things worse.
+/// If the input is already uniform (D(input||U) ~ 0), returns 1 when the
+/// output is also uniform and 0 otherwise (limit convention).
+double kl_gain(std::span<const double> input_freq,
+               std::span<const double> output_freq);
+
+/// Total variation distance (1/2) * sum |v_i - w_i|.
+double total_variation(std::span<const double> v, std::span<const double> w);
+
+/// Chi-square divergence sum (v_i - w_i)^2 / w_i with the same smoothing
+/// floor as kl_divergence.
+double chi_square_divergence(std::span<const double> v,
+                             std::span<const double> w, double floor = 1e-12);
+
+/// Hellinger distance sqrt(1 - sum sqrt(v_i w_i)), in [0, 1].  Member of
+/// the Ali-Silvey family the paper cites as alternatives to KL (Sec. VI).
+double hellinger_distance(std::span<const double> v,
+                          std::span<const double> w);
+
+/// Jensen-Shannon divergence (symmetrised, bounded KL):
+/// JSD = (D_KL(v||m) + D_KL(w||m))/2 with m = (v+w)/2; in [0, ln 2].
+double jensen_shannon(std::span<const double> v, std::span<const double> w);
+
+/// Renyi divergence of order alpha (> 0, != 1):
+/// D_a = log(sum v^a w^(1-a)) / (a-1); tends to D_KL as alpha -> 1.
+double renyi_divergence(std::span<const double> v, std::span<const double> w,
+                        double alpha, double floor = 1e-12);
+
+/// Builds the empirical frequency distribution of a stream over the id
+/// domain [0, n).  Ids >= n are ignored (they cannot exist in the paper's
+/// post-T0 model but defensive code keeps the metric well defined).
+std::vector<double> empirical_distribution(std::span<const std::uint64_t> ids,
+                                           std::uint64_t n);
+
+/// Convenience: D_KL(empirical(stream) || U) as used in Figs. 8/12.
+double stream_kl_from_uniform(std::span<const std::uint64_t> ids,
+                              std::uint64_t n);
+
+}  // namespace unisamp

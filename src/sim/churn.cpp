@@ -1,0 +1,62 @@
+#include "sim/churn.hpp"
+
+#include <algorithm>
+
+namespace unisamp {
+
+namespace {
+ChurnReport drive(GossipNetwork& net, const ChurnConfig& config,
+                  bool track_connectivity) {
+  ChurnReport report;
+  report.rounds = config.pre_t0_rounds;
+  report.min_active_seen = net.size();
+  Xoshiro256 rng(derive_seed(config.seed, 0xC4B1));
+
+  for (std::size_t round = 0; round < config.pre_t0_rounds; ++round) {
+    // Toggle activity.
+    std::size_t active = 0;
+    for (std::size_t i = 0; i < net.size(); ++i)
+      if (net.is_active(i)) ++active;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      if (net.is_active(i)) {
+        if (active > config.min_active &&
+            rng.bernoulli(config.leave_probability)) {
+          net.set_active(i, false);
+          --active;
+          ++report.events;
+        }
+      } else if (rng.bernoulli(config.rejoin_probability)) {
+        net.set_active(i, true);
+        ++active;
+        ++report.events;
+      }
+    }
+    report.min_active_seen = std::min(report.min_active_seen, active);
+
+    if (track_connectivity) {
+      std::vector<std::uint32_t> active_correct;
+      for (std::size_t i = 0; i < net.size(); ++i)
+        if (net.is_active(i) && !net.is_byzantine(i))
+          active_correct.push_back(static_cast<std::uint32_t>(i));
+      if (net.topology().is_connected_among(active_correct))
+        ++report.connected_rounds;
+    }
+    net.run_round();
+  }
+
+  // T0: churn ceases; everyone present from now on.
+  for (std::size_t i = 0; i < net.size(); ++i) net.set_active(i, true);
+  return report;
+}
+}  // namespace
+
+std::size_t run_churn_phase(GossipNetwork& net, const ChurnConfig& config) {
+  return drive(net, config, /*track_connectivity=*/false).events;
+}
+
+ChurnReport run_churn_phase_with_report(GossipNetwork& net,
+                                        const ChurnConfig& config) {
+  return drive(net, config, /*track_connectivity=*/true);
+}
+
+}  // namespace unisamp

@@ -1,0 +1,47 @@
+// Churn driver for the gossip simulator.
+//
+// The paper's model (Sec. III-C, after Bortnikov et al.): churn may occur
+// until a time T0, after which the membership stabilises — that assumption
+// makes "uniform over the population" well defined.  This driver exercises
+// a gossip network through a pre-T0 phase with Poisson-like joins/leaves,
+// then freezes membership, so experiments (and tests) can check two things:
+//   * the weak-connectivity precondition survives the churn phase, and
+//   * sampler outputs converge once churn stops (T0 semantics).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/gossip.hpp"
+#include "util/rng.hpp"
+
+namespace unisamp {
+
+struct ChurnConfig {
+  std::size_t pre_t0_rounds = 50;   ///< rounds of churn before T0
+  double leave_probability = 0.05;  ///< per active node per round
+  double rejoin_probability = 0.25; ///< per inactive node per round
+  std::size_t min_active = 2;       ///< never drop below (keeps network alive)
+  std::uint64_t seed = 1;
+};
+
+/// Runs the churn phase on `net` (toggling node activity each round, then
+/// gossiping), then reactivates everyone and returns the number of
+/// join/leave events that occurred.  After this call the network is in its
+/// post-T0 stable state; callers continue with net.run_rounds(...).
+std::size_t run_churn_phase(GossipNetwork& net, const ChurnConfig& config);
+
+/// Fraction of rounds during which the ACTIVE CORRECT nodes stayed weakly
+/// connected over the churn phase (diagnostic; recomputed alongside
+/// run_churn_phase when requested).
+struct ChurnReport {
+  std::size_t events = 0;           ///< total join/leave toggles
+  std::size_t rounds = 0;
+  std::size_t connected_rounds = 0; ///< rounds with correct subgraph connected
+  std::size_t min_active_seen = 0;
+};
+
+ChurnReport run_churn_phase_with_report(GossipNetwork& net,
+                                        const ChurnConfig& config);
+
+}  // namespace unisamp

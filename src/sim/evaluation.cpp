@@ -1,0 +1,68 @@
+#include "sim/evaluation.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "adversary/attacks.hpp"
+#include "metrics/divergence.hpp"
+
+namespace unisamp {
+
+NetworkExperimentResult run_network_experiment(
+    const NetworkExperimentConfig& config) {
+  GossipConfig gossip;
+  gossip.fanout = config.fanout;
+  gossip.seed = derive_seed(config.seed, 0xE0);
+  gossip.byzantine_count = config.byzantine;
+  gossip.flood_factor = config.flood_factor;
+  gossip.forged_id_count = config.forged_ids;
+  gossip.record_inputs = true;
+
+  ServiceConfig sampler = config.sampler;
+  sampler.record_output = true;
+
+  Topology topology = Topology::random_regular(
+      config.nodes, config.degree, derive_seed(config.seed, 0xE1));
+  GossipNetwork net(std::move(topology), gossip, sampler);
+  net.run_rounds(config.rounds);
+
+  NetworkExperimentResult result;
+  std::vector<std::uint32_t> correct;
+  for (std::uint32_t i = config.byzantine; i < config.nodes; ++i)
+    correct.push_back(i);
+  result.correct_overlay_connected =
+      net.topology().is_connected_among(correct);
+
+  // The uniformity target: real node ids [0, nodes).  Forged ids fall
+  // outside and count as malicious mass.
+  const std::uint64_t domain = config.nodes;
+  for (std::size_t node = config.byzantine; node < config.nodes; ++node) {
+    const Stream& input = net.input_stream(node);
+    const Stream& output = net.service(node).output_stream();
+    if (input.empty() || output.empty()) continue;
+    NodeOutcome outcome;
+    outcome.node = node;
+    outcome.input_kl = stream_kl_from_uniform(input, domain);
+    outcome.output_kl = stream_kl_from_uniform(output, domain);
+    outcome.gain = kl_gain(empirical_distribution(input, domain),
+                           empirical_distribution(output, domain));
+    outcome.input_malicious = malicious_fraction(input, net.forged_ids());
+    outcome.output_malicious = malicious_fraction(output, net.forged_ids());
+    result.outcomes.push_back(outcome);
+  }
+
+  if (!result.outcomes.empty()) {
+    for (const auto& o : result.outcomes) {
+      result.mean_gain += o.gain;
+      result.mean_input_malicious += o.input_malicious;
+      result.mean_output_malicious += o.output_malicious;
+    }
+    const double count = static_cast<double>(result.outcomes.size());
+    result.mean_gain /= count;
+    result.mean_input_malicious /= count;
+    result.mean_output_malicious /= count;
+  }
+  return result;
+}
+
+}  // namespace unisamp

@@ -1,0 +1,119 @@
+#include "sim/gossip.hpp"
+
+#include <stdexcept>
+
+namespace unisamp {
+
+GossipNetwork::GossipNetwork(Topology topology, GossipConfig config,
+                             ServiceConfig sampler_config)
+    : topology_(std::move(topology)),
+      config_(config),
+      nodes_(topology_.size()),
+      active_(topology_.size(), true),
+      rng_(derive_seed(config.seed, 0xC0551B)) {
+  if (config_.byzantine_count >= topology_.size())
+    throw std::invalid_argument("at least one correct node required");
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].knowledge.reserve(config_.knowledge_cache);
+    if (!is_byzantine(i)) {
+      ServiceConfig cfg = sampler_config;
+      cfg.seed = derive_seed(config.seed, 0x1000 + i);
+      nodes_[i].service = std::make_unique<SamplingService>(cfg);
+    }
+  }
+  forged_ids_.reserve(config_.forged_id_count);
+  // Forged ids live far above the real id range so they never collide.
+  const NodeId base = static_cast<NodeId>(topology_.size()) + (1ULL << 32);
+  for (std::size_t i = 0; i < config_.forged_id_count; ++i)
+    forged_ids_.push_back(base + static_cast<NodeId>(i));
+}
+
+void GossipNetwork::remember(NodeState& state, NodeId id) {
+  if (state.knowledge.size() < config_.knowledge_cache) {
+    state.knowledge.push_back(id);
+  } else if (!state.knowledge.empty()) {
+    state.knowledge[state.next_slot] = id;
+    state.next_slot = (state.next_slot + 1) % state.knowledge.size();
+  }
+}
+
+void GossipNetwork::deliver(std::size_t to, NodeId id) {
+  if (!active_[to]) return;
+  NodeState& state = nodes_[to];
+  remember(state, id);
+  if (state.service) {
+    state.service->on_receive(id);
+    if (config_.record_inputs) state.input.push_back(id);
+    ++delivered_;
+  }
+}
+
+const Stream& GossipNetwork::input_stream(std::size_t node) const {
+  if (is_byzantine(node))
+    throw std::invalid_argument("byzantine nodes record no input stream");
+  if (!config_.record_inputs)
+    throw std::logic_error("input recording was not enabled");
+  return nodes_[node].input;
+}
+
+void GossipNetwork::run_round() {
+  for (std::size_t from = 0; from < nodes_.size(); ++from) {
+    if (!active_[from]) continue;
+    const auto neighbors = topology_.neighbors(from);
+    if (neighbors.empty()) continue;
+    NodeState& state = nodes_[from];
+    for (std::uint32_t to : neighbors) {
+      if (!active_[to]) continue;
+      if (is_byzantine(from)) {
+        // Sybil flood: forged ids (or own id if no forged pool).
+        for (std::size_t f = 0; f < config_.flood_factor; ++f) {
+          const NodeId forged =
+              forged_ids_.empty()
+                  ? static_cast<NodeId>(from)
+                  : forged_ids_[rng_.next_below(forged_ids_.size())];
+          deliver(to, forged);
+        }
+      } else {
+        // Correct push: own id + fanout-1 random known ids.
+        deliver(to, static_cast<NodeId>(from));
+        for (std::size_t f = 1; f < config_.fanout; ++f) {
+          if (state.knowledge.empty()) break;
+          deliver(to,
+                  state.knowledge[rng_.next_below(state.knowledge.size())]);
+        }
+      }
+    }
+  }
+  ++rounds_;
+}
+
+void GossipNetwork::run_rounds(std::size_t rounds) {
+  for (std::size_t r = 0; r < rounds; ++r) run_round();
+}
+
+void GossipNetwork::set_active(std::size_t node, bool active) {
+  active_.at(node) = active;
+}
+
+const SamplingService& GossipNetwork::service(std::size_t node) const {
+  if (is_byzantine(node))
+    throw std::invalid_argument("byzantine nodes expose no sampling service");
+  return *nodes_[node].service;
+}
+
+SamplingService& GossipNetwork::service(std::size_t node) {
+  if (is_byzantine(node))
+    throw std::invalid_argument("byzantine nodes expose no sampling service");
+  return *nodes_[node].service;
+}
+
+std::vector<NodeId> GossipNetwork::sample_correct_nodes() {
+  std::vector<NodeId> samples;
+  for (std::size_t i = config_.byzantine_count; i < nodes_.size(); ++i) {
+    if (!active_[i]) continue;
+    if (auto s = nodes_[i].service->sample()) samples.push_back(*s);
+  }
+  return samples;
+}
+
+}  // namespace unisamp

@@ -1,0 +1,103 @@
+// Discrete-time gossip network simulator.
+//
+// The paper (Sec. IV) is agnostic about how input streams are produced —
+// "they may result from the continuous propagation of node ids through
+// gossip-based algorithms, or from the node ids received during random
+// walks".  This simulator produces them the first way: in every round each
+// live node pushes its own id plus a random subset of ids it has heard of to
+// its overlay neighbours.  Byzantine members instead flood forged
+// identifiers (the Sybil model of Sec. III-B): each round they push
+// `flood_factor` ids drawn from a pool of `forged_id_count` distinct forged
+// identities.
+//
+// Each correct node's received ids form its input stream sigma_i and are
+// fed to its SamplingService.  Churn (joins/leaves) can be exercised before
+// T0 via set_active(); the paper's assumption is that churn ceases at T0.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/sampling_service.hpp"
+#include "sim/topology.hpp"
+#include "stream/types.hpp"
+#include "util/rng.hpp"
+
+namespace unisamp {
+
+struct GossipConfig {
+  std::size_t fanout = 3;          ///< ids pushed per neighbour per round
+  std::size_t knowledge_cache = 64;///< per-node cache of heard ids
+  std::uint64_t seed = 1;
+
+  /// Byzantine behaviour.
+  std::size_t byzantine_count = 0;   ///< the first `byzantine_count` nodes are malicious
+  std::size_t flood_factor = 8;      ///< forged ids pushed per neighbour per round
+  std::size_t forged_id_count = 0;   ///< distinct forged ids (ell of the model);
+                                     ///< 0 = byzantine nodes use their own ids only
+  bool record_inputs = false;        ///< keep each correct node's input stream
+};
+
+class GossipNetwork {
+ public:
+  /// One sampling service per correct node, configured from
+  /// `sampler_config` (seed is re-derived per node).
+  GossipNetwork(Topology topology, GossipConfig config,
+                ServiceConfig sampler_config);
+
+  /// Executes one synchronous gossip round.
+  void run_round();
+  void run_rounds(std::size_t rounds);
+
+  /// Churn control (before T0): inactive nodes neither send nor receive.
+  void set_active(std::size_t node, bool active);
+  bool is_active(std::size_t node) const { return active_[node]; }
+
+  std::size_t size() const { return topology_.size(); }
+  bool is_byzantine(std::size_t node) const {
+    return node < config_.byzantine_count;
+  }
+
+  /// Sampling service of a CORRECT node.
+  const SamplingService& service(std::size_t node) const;
+  SamplingService& service(std::size_t node);
+
+  /// Current sample S_i(t) of every active correct node (skips nodes whose
+  /// stream is still empty).
+  std::vector<NodeId> sample_correct_nodes();
+
+  /// Total ids delivered to correct nodes so far.
+  std::uint64_t delivered() const { return delivered_; }
+  std::size_t rounds_run() const { return rounds_; }
+
+  /// Ids of the forged identity pool (empty if forged_id_count == 0).
+  const std::vector<NodeId>& forged_ids() const { return forged_ids_; }
+
+  /// Input stream of a correct node (requires record_inputs).
+  const Stream& input_stream(std::size_t node) const;
+
+  const Topology& topology() const { return topology_; }
+
+ private:
+  struct NodeState {
+    std::vector<NodeId> knowledge;  // ring buffer of heard ids
+    std::size_t next_slot = 0;
+    std::unique_ptr<SamplingService> service;  // null for byzantine nodes
+    Stream input;  // recorded deliveries (only when record_inputs)
+  };
+
+  void deliver(std::size_t to, NodeId id);
+  void remember(NodeState& state, NodeId id);
+
+  Topology topology_;
+  GossipConfig config_;
+  std::vector<NodeState> nodes_;
+  std::vector<bool> active_;
+  std::vector<NodeId> forged_ids_;
+  Xoshiro256 rng_;
+  std::uint64_t delivered_ = 0;
+  std::size_t rounds_ = 0;
+};
+
+}  // namespace unisamp

@@ -1,0 +1,26 @@
+#include "sim/random_walk.hpp"
+
+#include "util/rng.hpp"
+
+namespace unisamp {
+
+std::vector<Stream> random_walk_streams(const Topology& topology,
+                                        const RandomWalkConfig& config) {
+  const std::size_t n = topology.size();
+  std::vector<Stream> streams(n);
+  Xoshiro256 rng(config.seed);
+  for (std::size_t origin = 0; origin < n; ++origin) {
+    for (std::size_t w = 0; w < config.walks_per_node; ++w) {
+      std::size_t cur = origin;
+      for (std::size_t hop = 0; hop < config.walk_length; ++hop) {
+        const auto neighbors = topology.neighbors(cur);
+        if (neighbors.empty()) break;
+        cur = neighbors[rng.next_below(neighbors.size())];
+        streams[cur].push_back(static_cast<NodeId>(origin));
+      }
+    }
+  }
+  return streams;
+}
+
+}  // namespace unisamp

@@ -1,0 +1,31 @@
+// Random-walk stream generation — the paper's second way of producing input
+// streams (Sec. IV): "the node ids received during random walks initiated
+// at each node of the system".
+//
+// Every walk carries its originator's id; every node the walk visits logs
+// that id into its input stream.  On non-regular topologies the stationary
+// visit distribution of a simple walk is degree-biased, which is a natural,
+// *benign* source of stream bias the sampler must already undo — a nice
+// stress distinct from adversarial injection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/topology.hpp"
+#include "stream/types.hpp"
+
+namespace unisamp {
+
+struct RandomWalkConfig {
+  std::size_t walks_per_node = 4;  ///< walks initiated at each node
+  std::size_t walk_length = 16;    ///< hops per walk
+  std::uint64_t seed = 1;
+};
+
+/// Runs the walks and returns, for each node, the stream of originator ids
+/// observed at that node (in arrival order).
+std::vector<Stream> random_walk_streams(const Topology& topology,
+                                        const RandomWalkConfig& config);
+
+}  // namespace unisamp

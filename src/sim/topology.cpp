@@ -1,0 +1,128 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace unisamp {
+
+Topology::Topology(std::size_t n) : adjacency_(n) {
+  if (n == 0) throw std::invalid_argument("topology needs at least one node");
+}
+
+bool Topology::has_edge(std::size_t a, std::size_t b) const {
+  const auto& adj = adjacency_[a];
+  return std::find(adj.begin(), adj.end(), static_cast<std::uint32_t>(b)) !=
+         adj.end();
+}
+
+void Topology::add_edge(std::size_t a, std::size_t b) {
+  if (a == b) return;
+  if (a >= size() || b >= size())
+    throw std::out_of_range("edge endpoint out of range");
+  if (has_edge(a, b)) return;
+  adjacency_[a].push_back(static_cast<std::uint32_t>(b));
+  adjacency_[b].push_back(static_cast<std::uint32_t>(a));
+  ++edges_;
+}
+
+Topology Topology::complete(std::size_t n) {
+  Topology t(n);
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = a + 1; b < n; ++b) t.add_edge(a, b);
+  return t;
+}
+
+Topology Topology::ring(std::size_t n, std::size_t k) {
+  Topology t(n);
+  if (n < 2) return t;
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t hop = 1; hop <= k; ++hop) t.add_edge(a, (a + hop) % n);
+  return t;
+}
+
+Topology Topology::erdos_renyi(std::size_t n, double p, std::uint64_t seed) {
+  Topology t(n);
+  Xoshiro256 rng(seed);
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = a + 1; b < n; ++b)
+      if (rng.bernoulli(p)) t.add_edge(a, b);
+  return t;
+}
+
+Topology Topology::random_regular(std::size_t n, std::size_t d,
+                                  std::uint64_t seed) {
+  if (d >= n) return complete(n);
+  Topology t(n);
+  Xoshiro256 rng(seed);
+  for (std::size_t a = 0; a < n; ++a) {
+    std::size_t attempts = 0;
+    std::size_t added = 0;
+    while (added < d && attempts < 16 * d) {
+      const std::size_t b = rng.next_below(n);
+      ++attempts;
+      if (b == a || t.has_edge(a, b)) continue;
+      t.add_edge(a, b);
+      ++added;
+    }
+  }
+  return t;
+}
+
+Topology Topology::small_world(std::size_t n, std::size_t k, double beta,
+                               std::uint64_t seed) {
+  Topology base = ring(n, k);
+  if (n < 4) return base;
+  Topology t(n);
+  Xoshiro256 rng(seed);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::uint32_t b : base.neighbors(a)) {
+      if (b < a) continue;  // each undirected edge once
+      if (rng.bernoulli(beta)) {
+        // Rewire endpoint b to a random node.
+        std::size_t nb = rng.next_below(n);
+        std::size_t guard = 0;
+        while ((nb == a || t.has_edge(a, nb)) && guard++ < 32)
+          nb = rng.next_below(n);
+        if (nb != a && !t.has_edge(a, nb)) {
+          t.add_edge(a, nb);
+          continue;
+        }
+      }
+      t.add_edge(a, b);
+    }
+  }
+  return t;
+}
+
+bool Topology::is_connected() const {
+  std::vector<std::uint32_t> all(size());
+  for (std::size_t i = 0; i < size(); ++i) all[i] = static_cast<std::uint32_t>(i);
+  return is_connected_among(all);
+}
+
+bool Topology::is_connected_among(
+    std::span<const std::uint32_t> members) const {
+  if (members.empty()) return true;
+  std::unordered_set<std::uint32_t> member_set(members.begin(), members.end());
+  std::unordered_set<std::uint32_t> visited;
+  std::queue<std::uint32_t> frontier;
+  frontier.push(members[0]);
+  visited.insert(members[0]);
+  while (!frontier.empty()) {
+    const std::uint32_t cur = frontier.front();
+    frontier.pop();
+    for (std::uint32_t nb : adjacency_[cur]) {
+      if (member_set.contains(nb) && !visited.contains(nb)) {
+        visited.insert(nb);
+        frontier.push(nb);
+      }
+    }
+  }
+  return visited.size() == member_set.size();
+}
+
+}  // namespace unisamp

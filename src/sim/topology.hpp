@@ -1,0 +1,55 @@
+// Overlay topologies for the gossip simulator.
+//
+// The paper's model (Sec. III-C) only requires that from T0 onwards all
+// correct nodes are WEAKLY CONNECTED — there is a path between any pair of
+// correct nodes.  The simulator provides the classical overlay families and
+// a connectivity checker so experiments can assert the assumption holds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace unisamp {
+
+/// Undirected graph over nodes [0, n), adjacency-list representation.
+class Topology {
+ public:
+  explicit Topology(std::size_t n);
+
+  /// Fully connected overlay.
+  static Topology complete(std::size_t n);
+  /// Ring where each node links to its k nearest neighbours on each side.
+  static Topology ring(std::size_t n, std::size_t k = 1);
+  /// Erdos-Renyi G(n, p); NOT guaranteed connected — callers should check.
+  static Topology erdos_renyi(std::size_t n, double p, std::uint64_t seed);
+  /// Random d-regular-ish overlay: each node draws d distinct random
+  /// neighbours (union of draws, so degrees are in [d, 2d]).
+  static Topology random_regular(std::size_t n, std::size_t d,
+                                 std::uint64_t seed);
+  /// Watts-Strogatz small world: ring(k) with each edge rewired w.p. beta.
+  static Topology small_world(std::size_t n, std::size_t k, double beta,
+                              std::uint64_t seed);
+
+  std::size_t size() const { return adjacency_.size(); }
+  std::size_t edge_count() const { return edges_; }
+  std::span<const std::uint32_t> neighbors(std::size_t node) const {
+    return adjacency_[node];
+  }
+  bool has_edge(std::size_t a, std::size_t b) const;
+  void add_edge(std::size_t a, std::size_t b);
+
+  /// BFS connectivity over the whole graph.
+  bool is_connected() const;
+
+  /// Connectivity restricted to the given subset (the paper's weak
+  /// connectivity among CORRECT nodes): true if the induced subgraph on
+  /// `members` is connected.
+  bool is_connected_among(std::span<const std::uint32_t> members) const;
+
+ private:
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+  std::size_t edges_ = 0;
+};
+
+}  // namespace unisamp

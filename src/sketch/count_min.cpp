@@ -1,0 +1,132 @@
+#include "sketch/count_min.hpp"
+
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace unisamp {
+
+CountMinParams CountMinParams::from_error(double epsilon, double delta,
+                                          std::uint64_t seed) {
+  if (epsilon <= 0.0 || epsilon > 1.0)
+    throw std::invalid_argument("epsilon must be in (0, 1]");
+  if (delta <= 0.0 || delta >= 1.0)
+    throw std::invalid_argument("delta must be in (0, 1)");
+  CountMinParams p;
+  p.width = static_cast<std::size_t>(std::ceil(std::exp(1.0) / epsilon));
+  p.depth = static_cast<std::size_t>(std::ceil(std::log2(1.0 / delta)));
+  p.depth = std::max<std::size_t>(p.depth, 1);
+  p.seed = seed;
+  return p;
+}
+
+CountMinParams CountMinParams::from_dimensions(std::size_t k, std::size_t s,
+                                               std::uint64_t seed) {
+  if (k == 0 || s == 0)
+    throw std::invalid_argument("sketch dimensions must be positive");
+  return CountMinParams{k, s, seed};
+}
+
+double CountMinParams::epsilon() const {
+  return std::exp(1.0) / static_cast<double>(width);
+}
+
+double CountMinParams::delta() const {
+  return std::pow(2.0, -static_cast<double>(depth));
+}
+
+CountMinSketch::CountMinSketch(const CountMinParams& params)
+    : width_(params.width),
+      depth_(params.depth),
+      hashes_(params.depth, params.width, params.seed),
+      table_(params.width * params.depth, 0),
+      min_multiplicity_(params.width * params.depth) {
+  if (width_ == 0 || depth_ == 0)
+    throw std::invalid_argument("sketch dimensions must be positive");
+}
+
+void CountMinSketch::update(std::uint64_t item, std::uint64_t count) {
+  const std::uint64_t mixed = SplitMix64::mix(item);
+  // Each row maps the item to a distinct cell, so we can adjust the
+  // multiplicity of the global minimum cell-by-cell and recompute the
+  // minimum only when the last minimal cell was raised (rare: amortized
+  // O(1) over a stream, O(k*s) worst case).
+  for (std::size_t row = 0; row < depth_; ++row) {
+    std::uint64_t& cell = table_[row * width_ + hashes_(row, mixed)];
+    if (cell == min_counter_) --min_multiplicity_;
+    cell += count;
+  }
+  total_ += count;
+  if (min_multiplicity_ == 0) recompute_min();
+}
+
+std::uint64_t CountMinSketch::estimate(std::uint64_t item) const {
+  const std::uint64_t mixed = SplitMix64::mix(item);
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t row = 0; row < depth_; ++row)
+    best = std::min(best, table_[row * width_ + hashes_(row, mixed)]);
+  return best;
+}
+
+void CountMinSketch::merge(const CountMinSketch& other) {
+  if (other.width_ != width_ || other.depth_ != depth_)
+    throw std::invalid_argument("cannot merge sketches of different shapes");
+  for (std::size_t i = 0; i < table_.size(); ++i) table_[i] += other.table_[i];
+  total_ += other.total_;
+  recompute_min();
+}
+
+void CountMinSketch::halve() {
+  for (std::uint64_t& v : table_) v /= 2;
+  total_ /= 2;
+  recompute_min();
+}
+
+void CountMinSketch::recompute_min() {
+  std::uint64_t m = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint64_t v : table_) m = std::min(m, v);
+  min_counter_ = m;
+  min_multiplicity_ = 0;
+  for (std::uint64_t v : table_)
+    if (v == m) ++min_multiplicity_;
+}
+
+ConservativeCountMinSketch::ConservativeCountMinSketch(
+    const CountMinParams& params)
+    : width_(params.width),
+      depth_(params.depth),
+      hashes_(params.depth, params.width, params.seed),
+      table_(params.width * params.depth, 0) {
+  if (width_ == 0 || depth_ == 0)
+    throw std::invalid_argument("sketch dimensions must be positive");
+}
+
+void ConservativeCountMinSketch::update(std::uint64_t item,
+                                        std::uint64_t count) {
+  const std::uint64_t mixed = SplitMix64::mix(item);
+  const std::uint64_t target = estimate(item) + count;
+  for (std::size_t row = 0; row < depth_; ++row) {
+    std::uint64_t& cell = table_[row * width_ + hashes_(row, mixed)];
+    cell = std::max(cell, target);
+  }
+  total_ += count;
+}
+
+std::uint64_t ConservativeCountMinSketch::estimate(std::uint64_t item) const {
+  const std::uint64_t mixed = SplitMix64::mix(item);
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t row = 0; row < depth_; ++row)
+    best = std::min(best, table_[row * width_ + hashes_(row, mixed)]);
+  return best;
+}
+
+std::uint64_t ConservativeCountMinSketch::min_counter() const {
+  std::uint64_t m = std::numeric_limits<std::uint64_t>::max();
+  for (std::uint64_t v : table_) m = std::min(m, v);
+  return m;
+}
+
+}  // namespace unisamp

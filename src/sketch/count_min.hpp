@@ -1,0 +1,124 @@
+// Count-Min sketch (Cormode & Muthukrishnan) — Algorithm 2 of the paper.
+//
+// A s x k matrix of counters with one 2-universal hash per row.  For every
+// item j read from the stream, one counter per row is incremented; the
+// frequency estimate f̂_j is the minimum of the s counters j maps to.
+// Guarantees (for k = ceil(e/eps), s = ceil(ln(1/delta))):
+//   f_j <= f̂_j   and   P{ f̂_j > f_j + eps * m } <= delta
+// where m is the stream length.  The estimate is always an OVER-estimate,
+// which is exactly the handle the paper's adversary tries to exploit
+// (Sec. V): colliding forged ids inflate f̂_j for a victim j.
+//
+// The knowledge-free sampler also needs min_sigma, the minimum over the
+// whole matrix (line 6 of Algorithm 3); we maintain it incrementally.
+//
+// Items are pre-mixed by a fixed 64-bit bijection (SplitMix64) before
+// hashing.  The paper's ids are SHA-1 values (r = 160) — effectively random
+// — while simulations use small consecutive integers; the Carter-Wegman
+// "mod k" map applied to an arithmetic id sequence degenerates into a
+// stride pattern that can starve columns.  Mixing restores the
+// uniform-throw urn model of Sec. V without weakening 2-universality
+// (composition with a fixed bijection preserves the collision bound).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/two_universal.hpp"
+
+namespace unisamp {
+
+/// Dimensioning parameters of a Count-Min sketch.
+struct CountMinParams {
+  std::size_t width = 0;   ///< k = number of counters per row
+  std::size_t depth = 0;   ///< s = number of rows
+  std::uint64_t seed = 0;  ///< seeds the 2-universal hash bank
+
+  /// Paper dimensioning: k = ceil(e/eps), s = ceil(log2(1/delta)).
+  static CountMinParams from_error(double epsilon, double delta,
+                                   std::uint64_t seed);
+  /// Direct dimensioning by (k, s) — what the evaluation section uses.
+  static CountMinParams from_dimensions(std::size_t k, std::size_t s,
+                                        std::uint64_t seed);
+
+  /// The (epsilon, delta) guarantee implied by (width, depth).
+  double epsilon() const;
+  double delta() const;
+};
+
+/// Streaming Count-Min sketch.
+class CountMinSketch {
+ public:
+  explicit CountMinSketch(const CountMinParams& params);
+
+  /// Processes one stream item (increments one counter per row).
+  void update(std::uint64_t item, std::uint64_t count = 1);
+
+  /// f̂_item = min over rows of the counter item maps to.  Never
+  /// underestimates the true frequency.
+  std::uint64_t estimate(std::uint64_t item) const;
+
+  /// min_sigma: minimum counter value over the whole matrix (line 6 of
+  /// Algorithm 3).  O(1): maintained incrementally.
+  std::uint64_t min_counter() const { return min_counter_; }
+
+  /// Number of items processed so far (sum of update counts).
+  std::uint64_t total_count() const { return total_; }
+
+  std::size_t width() const { return width_; }
+  std::size_t depth() const { return depth_; }
+  /// Memory footprint in counters (k*s) — the "memory space of the sampler"
+  /// the robustness analysis is parameterized by.
+  std::size_t counter_count() const { return width_ * depth_; }
+
+  /// Merges another sketch built with the SAME params/seed (counter-wise
+  /// sum) — used when aggregating sub-stream sketches.
+  void merge(const CountMinSketch& other);
+
+  /// Halves every counter (integer division) and the total; substrate of
+  /// the exponentially decaying variant (sketch/decaying.hpp).
+  void halve();
+
+  /// Direct row access for white-box tests.
+  std::uint64_t counter_at(std::size_t row, std::size_t col) const {
+    return table_[row * width_ + col];
+  }
+
+ private:
+  void recompute_min();
+
+  std::size_t width_;
+  std::size_t depth_;
+  TwoUniversalFamily hashes_;
+  std::vector<std::uint64_t> table_;
+  std::uint64_t min_counter_ = 0;
+  std::uint64_t total_ = 0;
+  // How many counters currently equal min_counter_; lets update() refresh the
+  // minimum in O(1) amortized instead of scanning the matrix.
+  std::size_t min_multiplicity_;
+};
+
+/// Conservative-update variant (Estan & Varghese): on update, only counters
+/// equal to the current estimate are incremented.  Strictly tighter
+/// estimates than plain Count-Min for point queries; used as an ablation of
+/// the knowledge-free sampler's frequency oracle.
+class ConservativeCountMinSketch {
+ public:
+  explicit ConservativeCountMinSketch(const CountMinParams& params);
+
+  void update(std::uint64_t item, std::uint64_t count = 1);
+  std::uint64_t estimate(std::uint64_t item) const;
+  std::uint64_t min_counter() const;
+  std::uint64_t total_count() const { return total_; }
+  std::size_t width() const { return width_; }
+  std::size_t depth() const { return depth_; }
+
+ private:
+  std::size_t width_;
+  std::size_t depth_;
+  TwoUniversalFamily hashes_;
+  std::vector<std::uint64_t> table_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace unisamp

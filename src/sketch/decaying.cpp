@@ -1,0 +1,34 @@
+#include "sketch/decaying.hpp"
+
+#include <stdexcept>
+
+namespace unisamp {
+
+DecayingCountMinSketch::DecayingCountMinSketch(const CountMinParams& params,
+                                               std::uint64_t half_life)
+    : inner_(params), half_life_(half_life) {
+  if (half_life == 0)
+    throw std::invalid_argument("half life must be positive");
+}
+
+void DecayingCountMinSketch::update(std::uint64_t item, std::uint64_t count) {
+  inner_.update(item, count);
+  since_decay_ += count;
+  if (since_decay_ >= half_life_) decay();
+}
+
+std::uint64_t DecayingCountMinSketch::estimate(std::uint64_t item) const {
+  return inner_.estimate(item);
+}
+
+std::uint64_t DecayingCountMinSketch::min_counter() const {
+  return inner_.min_counter();
+}
+
+void DecayingCountMinSketch::decay() {
+  inner_.halve();
+  since_decay_ = 0;
+  ++decays_;
+}
+
+}  // namespace unisamp

@@ -1,0 +1,49 @@
+// Exponentially decaying Count-Min sketch — a practical extension for the
+// post-T0 world the paper brackets out.
+//
+// The paper assumes churn ceases at time T0 so that occurrence
+// probabilities are stationary.  In a live system the adversary can also
+// play *slow* games: build up counter mass early, then switch ids.  A
+// decaying sketch halves every counter each `half_life` updates, so
+// estimates track the RECENT stream (an exponentially-weighted window)
+// instead of the full history, at the same O(k*s) space.
+//
+// The estimate is therefore relative to the decayed mass, which is what
+// the knowledge-free strategy divides by anyway (a_j = min_sigma/f^_j is a
+// RATIO, invariant under the global scaling decay applies) — so the
+// sampler semantics carry over unchanged.
+#pragma once
+
+#include <cstdint>
+
+#include "sketch/count_min.hpp"
+
+namespace unisamp {
+
+class DecayingCountMinSketch {
+ public:
+  /// `half_life` = number of updates after which past contributions weigh
+  /// half.  Decay is applied lazily in O(k*s) bursts every half_life
+  /// updates (integer halving), keeping update O(s) amortised.
+  DecayingCountMinSketch(const CountMinParams& params,
+                         std::uint64_t half_life);
+
+  void update(std::uint64_t item, std::uint64_t count = 1);
+  std::uint64_t estimate(std::uint64_t item) const;
+  std::uint64_t min_counter() const;
+  std::uint64_t total_count() const { return inner_.total_count(); }
+  std::size_t width() const { return inner_.width(); }
+  std::size_t depth() const { return inner_.depth(); }
+  std::uint64_t half_life() const { return half_life_; }
+  std::uint64_t decay_count() const { return decays_; }
+
+ private:
+  void decay();
+
+  CountMinSketch inner_;
+  std::uint64_t half_life_;
+  std::uint64_t since_decay_ = 0;
+  std::uint64_t decays_ = 0;
+};
+
+}  // namespace unisamp

@@ -1,0 +1,51 @@
+#include "stream/discrete_sampler.hpp"
+
+#include <stdexcept>
+
+namespace unisamp {
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  const std::size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("empty weight vector");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("all weights are zero");
+
+  normalized_.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    normalized_[i] = weights[i] / total;
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  // Vose's stable construction with two worklists.
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+std::size_t DiscreteSampler::sample(Xoshiro256& rng) const noexcept {
+  const std::size_t column = rng.next_below(prob_.size());
+  return rng.next_double() < prob_[column] ? column : alias_[column];
+}
+
+}  // namespace unisamp

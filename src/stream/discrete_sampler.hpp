@@ -1,0 +1,34 @@
+// Walker/Vose alias method: O(1) sampling from an arbitrary discrete
+// distribution after O(n) setup.  Substrate for every weighted stream
+// generator (Zipf, truncated Poisson, attack mixtures).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace unisamp {
+
+class DiscreteSampler {
+ public:
+  /// Builds the alias table from non-negative weights (need not sum to 1;
+  /// at least one weight must be positive).
+  explicit DiscreteSampler(std::span<const double> weights);
+
+  /// Draws an index in [0, size()) with probability weight[i]/sum(weights).
+  std::size_t sample(Xoshiro256& rng) const noexcept;
+
+  std::size_t size() const noexcept { return prob_.size(); }
+
+  /// Normalised probability of index i (for tests).
+  double probability(std::size_t i) const { return normalized_[i]; }
+
+ private:
+  std::vector<double> prob_;         // alias-table acceptance probabilities
+  std::vector<std::uint32_t> alias_; // alias targets
+  std::vector<double> normalized_;   // kept for inspection
+};
+
+}  // namespace unisamp

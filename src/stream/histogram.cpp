@@ -1,0 +1,67 @@
+#include "stream/histogram.hpp"
+
+#include <algorithm>
+
+namespace unisamp {
+
+void FrequencyHistogram::add(NodeId id, std::uint64_t count) {
+  counts_[id] += count;
+  total_ += count;
+}
+
+void FrequencyHistogram::add_stream(std::span<const NodeId> stream) {
+  for (NodeId id : stream) add(id);
+}
+
+std::uint64_t FrequencyHistogram::count(NodeId id) const {
+  const auto it = counts_.find(id);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t FrequencyHistogram::max_frequency() const {
+  std::uint64_t best = 0;
+  for (const auto& [id, c] : counts_) best = std::max(best, c);
+  return best;
+}
+
+NodeId FrequencyHistogram::most_frequent_id() const {
+  NodeId best_id = 0;
+  std::uint64_t best = 0;
+  for (const auto& [id, c] : counts_) {
+    if (c > best || (c == best && id < best_id)) {
+      best = c;
+      best_id = id;
+    }
+  }
+  return best_id;
+}
+
+std::vector<std::uint64_t> FrequencyHistogram::sorted_frequencies() const {
+  std::vector<std::uint64_t> f;
+  f.reserve(counts_.size());
+  for (const auto& [id, c] : counts_) f.push_back(c);
+  std::sort(f.rbegin(), f.rend());
+  return f;
+}
+
+std::vector<double> FrequencyHistogram::distribution(std::uint64_t n) const {
+  std::vector<double> d(n, 0.0);
+  std::uint64_t counted = 0;
+  for (const auto& [id, c] : counts_) {
+    if (id < n) {
+      d[id] = static_cast<double>(c);
+      counted += c;
+    }
+  }
+  if (counted > 0)
+    for (double& x : d) x /= static_cast<double>(counted);
+  return d;
+}
+
+TraceStats compute_stats(std::span<const NodeId> stream) {
+  FrequencyHistogram h;
+  h.add_stream(stream);
+  return TraceStats{h.total(), h.distinct(), h.max_frequency()};
+}
+
+}  // namespace unisamp

@@ -1,0 +1,52 @@
+// Frequency accounting of id streams: per-id counts, distinct count, max
+// frequency, normalised distribution.  Used everywhere the evaluation
+// compares input and output streams (Figs. 5-7, Table II).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/types.hpp"
+
+namespace unisamp {
+
+/// Sparse frequency histogram over an unbounded id domain.
+class FrequencyHistogram {
+ public:
+  void add(NodeId id, std::uint64_t count = 1);
+  void add_stream(std::span<const NodeId> stream);
+
+  std::uint64_t count(NodeId id) const;
+  std::uint64_t total() const { return total_; }
+  std::size_t distinct() const { return counts_.size(); }
+  std::uint64_t max_frequency() const;
+  NodeId most_frequent_id() const;
+
+  /// Frequencies sorted descending — the log-log rank/frequency curve of
+  /// Fig. 5.
+  std::vector<std::uint64_t> sorted_frequencies() const;
+
+  /// Normalised distribution over the dense domain [0, n); ids >= n ignored.
+  std::vector<double> distribution(std::uint64_t n) const;
+
+  const std::unordered_map<NodeId, std::uint64_t>& raw() const {
+    return counts_;
+  }
+
+ private:
+  std::unordered_map<NodeId, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Summary statistics in the shape of the paper's Table II.
+struct TraceStats {
+  std::uint64_t stream_size = 0;    ///< m  ("# ids")
+  std::uint64_t distinct_ids = 0;   ///< n  ("# distinct ids")
+  std::uint64_t max_frequency = 0;  ///< "max. freq."
+};
+
+TraceStats compute_stats(std::span<const NodeId> stream);
+
+}  // namespace unisamp

@@ -1,0 +1,31 @@
+// Stream (trace) persistence.
+//
+// Two formats:
+//  * plain text — one decimal id per line; interoperable with shell tools
+//    and external plotting,
+//  * run-length binary — little-endian (id, count) u64 pairs with a magic
+//    header; compact for the calibrated web traces (millions of ids, long
+//    runs after sorting is NOT assumed — runs are only taken as they occur,
+//    so shuffled streams round-trip exactly too).
+#pragma once
+
+#include <string>
+
+#include "stream/types.hpp"
+
+namespace unisamp {
+
+/// Writes one id per line.  Throws std::runtime_error on I/O failure.
+void save_stream_text(const Stream& stream, const std::string& path);
+
+/// Reads a one-id-per-line file.  Ignores blank lines and lines starting
+/// with '#'.  Throws std::runtime_error on I/O failure or parse error.
+Stream load_stream_text(const std::string& path);
+
+/// Writes the run-length binary format.
+void save_stream_binary(const Stream& stream, const std::string& path);
+
+/// Reads the run-length binary format; validates the header.
+Stream load_stream_binary(const std::string& path);
+
+}  // namespace unisamp

@@ -1,0 +1,18 @@
+// Common stream vocabulary.
+//
+// The paper draws identifiers from Omega = {1, ..., 2^r} with r = 160
+// (SHA-1).  For the simulator and the evaluation harness what matters is
+// that ids are opaque and collision-free; a 64-bit id space plays that role
+// (collisions are negligible at the scales we simulate, and the paper's
+// algorithms never rely on id structure).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace unisamp {
+
+using NodeId = std::uint64_t;
+using Stream = std::vector<NodeId>;
+
+}  // namespace unisamp

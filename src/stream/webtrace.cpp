@@ -1,0 +1,120 @@
+#include "stream/webtrace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stream/generators.hpp"
+
+namespace unisamp {
+
+namespace {
+// Table II of the paper, verbatim.
+const WebTraceSpec kNasa{"NASA", 1'891'715, 81'983, 17'572};
+const WebTraceSpec kClarkNet{"ClarkNet", 1'673'794, 94'787, 7'239};
+const WebTraceSpec kSaskatchewan{"Saskatchewan", 2'408'625, 162'523, 52'695};
+
+// Sum over ranks 1..n of (max_freq * rank^-alpha), i.e. the stream size a
+// Zipf curve pinned at (1, max_freq) would produce.
+double zipf_mass(const WebTraceSpec& spec, double alpha) {
+  double sum = 0.0;
+  const double mf = static_cast<double>(spec.max_frequency);
+  for (std::uint64_t rank = 1; rank <= spec.distinct_ids; ++rank)
+    sum += mf * std::pow(static_cast<double>(rank), -alpha);
+  return sum;
+}
+}  // namespace
+
+const WebTraceSpec& nasa_trace_spec() { return kNasa; }
+const WebTraceSpec& clarknet_trace_spec() { return kClarkNet; }
+const WebTraceSpec& saskatchewan_trace_spec() { return kSaskatchewan; }
+
+std::vector<WebTraceSpec> all_trace_specs() {
+  return {kNasa, kClarkNet, kSaskatchewan};
+}
+
+double fit_zipf_alpha(const WebTraceSpec& spec) {
+  if (spec.distinct_ids == 0 || spec.stream_size < spec.distinct_ids)
+    throw std::invalid_argument("inconsistent trace spec");
+  // zipf_mass is decreasing in alpha; bisect for zipf_mass == stream_size.
+  double lo = 0.01, hi = 8.0;
+  if (zipf_mass(spec, lo) < static_cast<double>(spec.stream_size)) return lo;
+  if (zipf_mass(spec, hi) > static_cast<double>(spec.stream_size)) return hi;
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (zipf_mass(spec, mid) > static_cast<double>(spec.stream_size))
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+std::vector<std::uint64_t> calibrated_counts(const WebTraceSpec& spec) {
+  const double alpha = fit_zipf_alpha(spec);
+  const std::size_t n = spec.distinct_ids;
+  std::vector<std::uint64_t> counts(n);
+  const double mf = static_cast<double>(spec.max_frequency);
+  std::uint64_t assigned = 0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    const double c = mf * std::pow(static_cast<double>(rank + 1), -alpha);
+    counts[rank] = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::llround(c)));
+    assigned += counts[rank];
+  }
+  counts[0] = spec.max_frequency;  // pin the head exactly
+  assigned = 0;
+  for (auto c : counts) assigned += c;
+
+  // Spread the residual over mid ranks so the total hits m exactly without
+  // disturbing the head (rank 0 stays the unique maximum).  Each pass lifts
+  // ranks toward their predecessor's count; a consistent spec satisfies
+  // m <= n * max_freq so capped spreading always terminates.
+  if (assigned < spec.stream_size) {
+    std::uint64_t residual = spec.stream_size - assigned;
+    while (residual > 0 && n > 1) {
+      std::uint64_t progress = 0;
+      for (std::size_t rank = 1; rank < n && residual > 0; ++rank) {
+        const std::uint64_t cap = counts[rank - 1];
+        if (counts[rank] < cap) {
+          const std::uint64_t add = std::min(cap - counts[rank], residual);
+          counts[rank] += add;
+          residual -= add;
+          progress += add;
+        }
+      }
+      if (progress == 0) {
+        // All ranks saturated at max_frequency: spec was inconsistent
+        // (m > n * max_freq); absorb on the head to keep the total exact.
+        counts[0] += residual;
+        residual = 0;
+      }
+    }
+  } else if (assigned > spec.stream_size) {
+    std::uint64_t excess = assigned - spec.stream_size;
+    for (std::size_t rank = n; rank-- > 1 && excess > 0;) {
+      const std::uint64_t removable = counts[rank] > 1 ? counts[rank] - 1 : 0;
+      const std::uint64_t take = std::min(removable, excess);
+      counts[rank] -= take;
+      excess -= take;
+    }
+  }
+  return counts;
+}
+
+Stream generate_webtrace(const WebTraceSpec& spec, std::uint64_t seed) {
+  return exact_stream(calibrated_counts(spec), seed);
+}
+
+WebTraceSpec scaled_spec(const WebTraceSpec& spec, std::uint64_t factor) {
+  if (factor == 0) throw std::invalid_argument("factor must be positive");
+  WebTraceSpec s;
+  s.name = spec.name + "/" + std::to_string(factor);
+  s.distinct_ids = std::max<std::uint64_t>(1, spec.distinct_ids / factor);
+  s.max_frequency = std::max<std::uint64_t>(1, spec.max_frequency / factor);
+  s.stream_size =
+      std::max(spec.stream_size / factor, s.distinct_ids + s.max_frequency);
+  return s;
+}
+
+}  // namespace unisamp

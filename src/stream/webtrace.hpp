@@ -1,0 +1,58 @@
+// Calibrated synthetic web traces.
+//
+// The paper evaluates on three Internet Traffic Archive HTTP logs (NASA,
+// ClarkNet, Saskatchewan) that are not redistributable/offline here.  The
+// sampler only observes an id stream with a frequency profile; the paper
+// itself reports only each trace's size, population, max frequency
+// (Table II) and notes that "all these benchmarks share a Zipfian behavior"
+// (Fig. 5).  We therefore regenerate streams that match those published
+// statistics exactly where possible:
+//   * stream length m (exact),
+//   * number of distinct ids n (exact: every id occurs >= 1 time),
+//   * max frequency (exact: the rank-1 id count is pinned),
+//   * Zipf-shaped tail with the exponent alpha fitted so that the Zipf
+//     curve through (rank 1, max_freq) integrates to m over n ranks.
+// See DESIGN.md §4 for the substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/types.hpp"
+
+namespace unisamp {
+
+/// Published statistics of one trace (paper Table II).
+struct WebTraceSpec {
+  std::string name;
+  std::uint64_t stream_size;    ///< m
+  std::uint64_t distinct_ids;   ///< n
+  std::uint64_t max_frequency;  ///< count of the most frequent id
+};
+
+/// The three traces of Table II.
+const WebTraceSpec& nasa_trace_spec();
+const WebTraceSpec& clarknet_trace_spec();
+const WebTraceSpec& saskatchewan_trace_spec();
+std::vector<WebTraceSpec> all_trace_specs();
+
+/// Fits the Zipf exponent alpha such that scaling w_i = i^-alpha to make
+/// w_1 = max_frequency yields sum_i w_i ~ stream_size over distinct_ids
+/// ranks.  Bisection on alpha in [0.01, 8].
+double fit_zipf_alpha(const WebTraceSpec& spec);
+
+/// Exact per-rank counts: counts[0] = max_frequency, every rank >= 1 count
+/// >= 1, total == stream_size.
+std::vector<std::uint64_t> calibrated_counts(const WebTraceSpec& spec);
+
+/// Generates the full shuffled stream.  Ids are 0..n-1 in frequency-rank
+/// order (the sampler is oblivious to id values, so rank order is WLOG).
+Stream generate_webtrace(const WebTraceSpec& spec, std::uint64_t seed);
+
+/// Downscales a spec by `factor` (m, n, max_freq all divided) so unit tests
+/// and quick benches can run on a trace with the same shape at 1/factor
+/// cost.  Guarantees the invariants n >= 1, max_freq >= 1, m >= n.
+WebTraceSpec scaled_spec(const WebTraceSpec& spec, std::uint64_t factor);
+
+}  // namespace unisamp

@@ -1,0 +1,66 @@
+#include "streamstats/heavy_hitters.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace unisamp {
+
+SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("capacity must be positive");
+  counts_.reserve(capacity);
+}
+
+std::uint64_t SpaceSaving::min_tracked_count() const {
+  std::uint64_t m = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& [id, cell] : counts_) m = std::min(m, cell.count);
+  return counts_.empty() ? 0 : m;
+}
+
+void SpaceSaving::add(std::uint64_t item, std::uint64_t weight) {
+  total_ += weight;
+  const auto it = counts_.find(item);
+  if (it != counts_.end()) {
+    it->second.count += weight;
+    return;
+  }
+  if (counts_.size() < capacity_) {
+    counts_.emplace(item, Cell{weight, 0});
+    return;
+  }
+  // Evict the minimum; the newcomer inherits its count as over-estimate.
+  auto victim = counts_.begin();
+  for (auto i = counts_.begin(); i != counts_.end(); ++i)
+    if (i->second.count < victim->second.count) victim = i;
+  const Cell inherited{victim->second.count + weight, victim->second.count};
+  counts_.erase(victim);
+  counts_.emplace(item, inherited);
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::entries() const {
+  std::vector<Entry> out;
+  out.reserve(counts_.size());
+  for (const auto& [id, cell] : counts_)
+    out.push_back(Entry{id, cell.count, cell.error});
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    return a.count > b.count || (a.count == b.count && a.id < b.id);
+  });
+  return out;
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::heavy_hitters(
+    double threshold_fraction) const {
+  const double bar = threshold_fraction * static_cast<double>(total_);
+  std::vector<Entry> out;
+  for (const Entry& e : entries())
+    if (static_cast<double>(e.count - e.error) > bar) out.push_back(e);
+  return out;
+}
+
+std::uint64_t SpaceSaving::estimate(std::uint64_t item) const {
+  const auto it = counts_.find(item);
+  if (it != counts_.end()) return it->second.count;
+  return counts_.size() < capacity_ ? 0 : min_tracked_count();
+}
+
+}  // namespace unisamp

@@ -1,0 +1,60 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+
+namespace unisamp {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+CsvWriter::~CsvWriter() { out_.flush(); }
+
+void CsvWriter::header(std::initializer_list<std::string_view> names) {
+  bool first = true;
+  for (auto n : names) {
+    write_cell(n, first);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& c : cells) {
+    write_cell(c, first);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& values) {
+  bool first = true;
+  for (double v : values) {
+    write_cell(format(v), first);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::format(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.8g", v);
+  return buf;
+}
+
+void CsvWriter::write_cell(std::string_view cell, bool first) {
+  if (!first) out_ << ',';
+  const bool needs_quote =
+      cell.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quote) {
+    out_ << cell;
+    return;
+  }
+  out_ << '"';
+  for (char ch : cell) {
+    if (ch == '"') out_ << '"';
+    out_ << ch;
+  }
+  out_ << '"';
+}
+
+}  // namespace unisamp

@@ -1,0 +1,106 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace unisamp {
+
+void AsciiTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::add_separator() { separators_.push_back(rows_.size()); }
+
+std::string AsciiTable::render() const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> widths(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i)
+      widths[i] = std::max(widths[i], r[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (auto w : widths) s += std::string(w + 2, '-') + "+";
+    s += "\n";
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& r) {
+    std::string s = "|";
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string& cell = i < r.size() ? r[i] : std::string{};
+      s += " " + cell + std::string(widths[i] - cell.size(), ' ') + " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::ostringstream out;
+  out << hline();
+  if (!header_.empty()) {
+    out << line(header_);
+    out << hline();
+  }
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    for (std::size_t sep : separators_)
+      if (sep == i) out << hline();
+    out << line(rows_[i]);
+  }
+  out << hline();
+  return out.str();
+}
+
+std::string render_heatmap(const std::vector<double>& values,
+                           std::size_t rows, std::size_t cols) {
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  constexpr int kLevels = static_cast<int>(sizeof(kRamp)) - 2;
+  double maxv = 0.0;
+  for (double v : values) maxv = std::max(maxv, v);
+  std::string out;
+  out.reserve(rows * (cols + 1));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double v = values[r * cols + c];
+      int level = 0;
+      if (maxv > 0.0 && v > 0.0)
+        level = 1 + static_cast<int>((v / maxv) * (kLevels - 1));
+      level = std::min(level, kLevels);
+      out += kRamp[level];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string format_double(double v, int significant_digits) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*g", significant_digits, v);
+  return buf;
+}
+
+std::string format_with_commas(long long v) {
+  const bool neg = v < 0;
+  unsigned long long u = neg ? 0ULL - static_cast<unsigned long long>(v)
+                             : static_cast<unsigned long long>(v);
+  std::string digits = std::to_string(u);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  if (neg) out += '-';
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace unisamp

@@ -1,0 +1,42 @@
+// ASCII rendering helpers for the benchmark harness: aligned tables (used to
+// print the paper's Table I/II rows) and grey-scale heatmaps (used for the
+// Fig. 6 isopleth, which the paper renders as a colour map).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace unisamp {
+
+/// Column-aligned ASCII table.  Rows are added as vectors of cells; render()
+/// pads every column to its widest cell.
+class AsciiTable {
+ public:
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  /// Adds a horizontal separator after the current last row.
+  void add_separator();
+
+  std::string render() const;
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;
+};
+
+/// Renders a matrix of non-negative values as an ASCII heatmap, one character
+/// per cell, dark-to-light ramp.  Values are normalised by the matrix max.
+/// `rows x cols` layout: element (r, c) = values[r * cols + c].
+std::string render_heatmap(const std::vector<double>& values,
+                           std::size_t rows, std::size_t cols);
+
+/// Formats a double with the given number of significant digits.
+std::string format_double(double v, int significant_digits = 4);
+
+/// Formats an integer with thousands separators ("1,617").
+std::string format_with_commas(long long v);
+
+}  // namespace unisamp

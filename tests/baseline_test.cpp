@@ -1,0 +1,131 @@
+// Tests of the baseline samplers — including the demonstration of the
+// paper's critique of min-wise sampling (Sec. I): uniform eventually, but
+// STATIC after convergence (no Freshness).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/minwise_sampler.hpp"
+#include "baseline/reservoir_sampler.hpp"
+#include "metrics/divergence.hpp"
+#include "stream/generators.hpp"
+#include "stream/histogram.hpp"
+#include "util/stats.hpp"
+
+namespace unisamp {
+namespace {
+
+TEST(MinWise, RejectsZeroCapacity) {
+  EXPECT_THROW(MinWiseSampler(0, 1), std::invalid_argument);
+}
+
+TEST(MinWise, ConvergesToFixedSample) {
+  MinWiseSampler sampler(4, 7);
+  WeightedStreamGenerator gen(uniform_weights(100), 3);
+  sampler.run(gen.take(2000));
+  EXPECT_TRUE(sampler.converged_once());
+  const auto frozen = sampler.memory();
+  // Replaying the whole population again must not change anything: each
+  // slot already holds the min-wise winner.
+  for (NodeId id = 0; id < 100; ++id) sampler.process(id);
+  EXPECT_EQ(sampler.memory(), frozen);
+}
+
+TEST(MinWise, StaticityGrowsWithoutBound) {
+  // The paper's critique: "once the convergence has been reached, it is
+  // stuck to this convergence value independently from any subsequent
+  // input values".
+  MinWiseSampler sampler(2, 9);
+  for (NodeId id = 0; id < 50; ++id) sampler.process(id);
+  const std::uint64_t before = sampler.steps_since_last_change();
+  for (int rep = 0; rep < 10; ++rep)
+    for (NodeId id = 0; id < 50; ++id) sampler.process(id);
+  EXPECT_GE(sampler.steps_since_last_change(), before + 500);
+}
+
+TEST(MinWise, SelectionIsUniformOverPopulation) {
+  // Across many independent samplers, the converged min-wise winner should
+  // be uniform over the population (this is why [6] uses it).
+  constexpr int kSamplers = 4000;
+  constexpr std::uint64_t kPopulation = 20;
+  std::vector<std::uint64_t> wins(kPopulation, 0);
+  for (int i = 0; i < kSamplers; ++i) {
+    MinWiseSampler sampler(1, 1000 + i);
+    for (NodeId id = 0; id < kPopulation; ++id) sampler.process(id);
+    ++wins[sampler.memory()[0]];
+  }
+  EXPECT_LT(chi_square_statistic(wins),
+            chi_square_critical(kPopulation - 1, 0.001));
+}
+
+TEST(MinWise, FrequencyBiasDoesNotAffectSelection) {
+  // Min-wise selection depends only on id VALUES, not frequencies — the
+  // redeeming property against naive reservoir sampling.
+  constexpr int kSamplers = 3000;
+  constexpr std::uint64_t kPopulation = 10;
+  std::vector<std::uint64_t> wins(kPopulation, 0);
+  for (int i = 0; i < kSamplers; ++i) {
+    MinWiseSampler sampler(1, 77 + i);
+    // id 0 occurs 100x more often.
+    for (int rep = 0; rep < 100; ++rep) sampler.process(0);
+    for (NodeId id = 1; id < kPopulation; ++id) sampler.process(id);
+    ++wins[sampler.memory()[0]];
+  }
+  EXPECT_LT(chi_square_statistic(wins),
+            chi_square_critical(kPopulation - 1, 0.001));
+}
+
+TEST(Reservoir, RejectsZeroCapacity) {
+  EXPECT_THROW(ReservoirSampler(0, 1), std::invalid_argument);
+}
+
+TEST(Reservoir, UniformOverStreamPositions) {
+  // For a uniform input stream the FINAL reservoir content is uniform over
+  // ids.  Aggregate final reservoirs of many independent samplers (single
+  // outputs are heavily auto-correlated, so test the terminal state).
+  constexpr std::uint64_t kPopulation = 25;
+  std::vector<std::uint64_t> counts(kPopulation, 0);
+  for (int trial = 0; trial < 600; ++trial) {
+    ReservoirSampler sampler(5, 100 + trial);
+    WeightedStreamGenerator gen(uniform_weights(kPopulation), 900 + trial);
+    sampler.run(gen.take(500));
+    for (NodeId id : sampler.memory()) ++counts[id];
+  }
+  EXPECT_LT(chi_square_statistic(counts),
+            chi_square_critical(kPopulation - 1, 0.001));
+}
+
+TEST(Reservoir, BiasedStreamYieldsBiasedSample) {
+  // ...but under the peak attack the reservoir is dominated by the peak id:
+  // this is the failure mode the paper's samplers fix.
+  const std::size_t n = 100;
+  const auto counts = peak_attack_counts(n, 0, 20000, 20);
+  const Stream input = exact_stream(counts, 7);
+  ReservoirSampler sampler(10, 9);
+  const Stream output = sampler.run(input);
+  FrequencyHistogram h;
+  h.add_stream(output);
+  // Peak id holds ~91% of the input; it must dominate the reservoir output.
+  EXPECT_GT(static_cast<double>(h.count(0)),
+            0.5 * static_cast<double>(output.size()));
+  const double gain = kl_gain(empirical_distribution(input, n),
+                              empirical_distribution(output, n));
+  EXPECT_LT(gain, 0.3) << "reservoir should NOT unbias the stream";
+}
+
+TEST(Reservoir, MemoryBounded) {
+  ReservoirSampler sampler(5, 1);
+  WeightedStreamGenerator gen(uniform_weights(100), 2);
+  sampler.run(gen.take(1000));
+  EXPECT_EQ(sampler.memory().size(), 5u);
+}
+
+TEST(Baselines, NamesAreStable) {
+  MinWiseSampler mw(1, 1);
+  ReservoirSampler rs(1, 1);
+  EXPECT_EQ(mw.name(), "minwise");
+  EXPECT_EQ(rs.name(), "reservoir");
+}
+
+}  // namespace
+}  // namespace unisamp

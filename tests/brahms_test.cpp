@@ -1,0 +1,132 @@
+// Tests of the Brahms-style baseline (Bortnikov et al. [6]).
+#include "baseline/brahms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace unisamp {
+namespace {
+
+BrahmsConfig cfg() {
+  BrahmsConfig c;
+  c.view_size = 8;
+  c.sampler_slots = 8;
+  c.seed = 1;
+  return c;
+}
+
+TEST(BrahmsNode, RejectsBadConfig) {
+  BrahmsConfig bad = cfg();
+  bad.view_size = 0;
+  EXPECT_THROW(BrahmsNode(1, bad, 2), std::invalid_argument);
+  bad = cfg();
+  bad.alpha = 0.9;  // alpha+beta+gamma = 1.45
+  EXPECT_THROW(BrahmsNode(1, bad, 2), std::invalid_argument);
+}
+
+TEST(BrahmsNode, BootstrapSetsView) {
+  BrahmsNode node(5, cfg(), 3);
+  node.bootstrap({1, 2, 3});
+  EXPECT_EQ(node.view(), (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_FALSE(node.history_sample().empty());
+}
+
+TEST(BrahmsNode, BootstrapTruncatesToViewSize) {
+  BrahmsConfig c = cfg();
+  c.view_size = 2;
+  BrahmsNode node(5, c, 3);
+  node.bootstrap({1, 2, 3, 4});
+  EXPECT_EQ(node.view().size(), 2u);
+}
+
+TEST(BrahmsNode, EmptyRoundKeepsView) {
+  BrahmsNode node(5, cfg(), 3);
+  node.bootstrap({1, 2, 3});
+  const auto before = node.view();
+  node.end_round();
+  EXPECT_EQ(node.view(), before);
+}
+
+TEST(BrahmsNode, ViewRefreshMixesPushPullHistory) {
+  BrahmsNode node(5, cfg(), 3);
+  node.bootstrap({1, 2, 3, 4, 6, 7, 8, 9});
+  for (NodeId id = 20; id < 40; ++id) node.on_push(id);
+  node.on_pull_reply({50, 51, 52, 53, 54, 55, 56, 57});
+  node.end_round();
+  const auto& view = node.view();
+  EXPECT_EQ(view.size(), 8u);
+  std::size_t pushes = 0, pulls = 0, history = 0;
+  for (NodeId id : view) {
+    if (id >= 20 && id < 40) ++pushes;
+    else if (id >= 50) ++pulls;
+    else ++history;
+  }
+  // alpha = beta = 0.45 -> ~4 push + ~4 pull slots; gamma tops up.
+  EXPECT_GE(pushes, 2u);
+  EXPECT_GE(pulls, 2u);
+  EXPECT_EQ(pushes + pulls + history, 8u);
+}
+
+TEST(BrahmsNode, PullPartnerComesFromView) {
+  BrahmsNode node(5, cfg(), 3);
+  node.bootstrap({1, 2, 3});
+  std::unordered_set<NodeId> view(node.view().begin(), node.view().end());
+  for (int i = 0; i < 50; ++i)
+    EXPECT_TRUE(view.contains(node.choose_pull_partner()));
+}
+
+TEST(BrahmsNetwork, RejectsAllByzantine) {
+  EXPECT_THROW(BrahmsNetwork(4, 4, cfg(), 1, 1, 1), std::invalid_argument);
+}
+
+TEST(BrahmsNetwork, ViewsConvergeToCorrectMembers) {
+  // No byzantine nodes: after some rounds views hold real member ids.
+  BrahmsNetwork net(30, 0, cfg(), 2, 0, 7);
+  net.run_rounds(30);
+  for (std::size_t i = 0; i < net.correct_count(); ++i) {
+    for (NodeId id : net.node(i).view()) EXPECT_LT(id, 30u);
+    EXPECT_FALSE(net.node(i).view().empty());
+  }
+  EXPECT_DOUBLE_EQ(net.view_pollution(), 0.0);
+}
+
+TEST(BrahmsNetwork, FloodCapsViewPollutionBelowAlphaPlusBeta) {
+  // Byzantine flood dominates the push channel and poisons pull replies,
+  // but the history (gamma) share is refreshed from min-wise samples, so
+  // total pollution stays bounded away from 1 — Brahms' defining property.
+  BrahmsNetwork net(40, 4, cfg(), 2, 30, 9);
+  net.run_rounds(60);
+  const double pollution = net.view_pollution();
+  EXPECT_GT(pollution, 0.05);  // the attack does bite...
+  EXPECT_LT(pollution, 0.95);  // ...but cannot eclipse the views entirely
+}
+
+TEST(BrahmsNetwork, HistoryResistsBetterThanViews) {
+  // The min-wise history depends only on id VALUES, not frequencies: with
+  // 4 byzantine ids among 40, its pollution stays near the population
+  // share 4/40 = 10% even under a 30x flood, while views suffer more.
+  BrahmsNetwork net(40, 4, cfg(), 2, 30, 11);
+  net.run_rounds(60);
+  EXPECT_LT(net.history_pollution(), 0.35);
+  EXPECT_LT(net.history_pollution(), net.view_pollution() + 0.05);
+}
+
+TEST(BrahmsNetwork, HistoryIsStaticAfterConvergence) {
+  // The DSN'13 critique: the min-wise history freezes.  Run long, snapshot,
+  // run more, compare.
+  BrahmsNetwork net(25, 0, cfg(), 2, 0, 13);
+  net.run_rounds(80);
+  std::vector<std::vector<NodeId>> before;
+  for (std::size_t i = 0; i < net.correct_count(); ++i)
+    before.push_back(net.node(i).history_sample());
+  net.run_rounds(40);
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < net.correct_count(); ++i)
+    if (net.node(i).history_sample() != before[i]) ++changed;
+  // The overwhelming majority of histories must be frozen.
+  EXPECT_LE(changed, net.correct_count() / 5);
+}
+
+}  // namespace
+}  // namespace unisamp

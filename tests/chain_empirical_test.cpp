@@ -1,0 +1,115 @@
+// Bridges the Markov model (Sec. IV-A) and the implementation: simulate
+// the ACTUAL OmniscientSampler on i.i.d. draws from p and compare the
+// empirical occupancy of its memory states against the analytic stationary
+// distribution of the chain — the strongest possible check that Algorithm 1
+// implements the analysed process.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "analysis/markov.hpp"
+#include "core/omniscient_sampler.hpp"
+#include "stream/generators.hpp"
+#include "util/stats.hpp"
+
+namespace unisamp {
+namespace {
+
+std::vector<double> normalized(std::vector<double> w) {
+  const double s = std::accumulate(w.begin(), w.end(), 0.0);
+  for (double& x : w) x /= s;
+  return w;
+}
+
+TEST(ChainEmpirical, MemoryStateOccupancyMatchesStationary) {
+  // n = 6, c = 2 -> 15 states; heavily skewed p.
+  const unsigned n = 6, c = 2;
+  const auto p = normalized({0.4, 0.25, 0.15, 0.1, 0.06, 0.04});
+  SamplerChain chain(omniscient_parameters(c, p));
+  const auto pi = chain.stationary_power_iteration();
+  const auto& states = chain.states();
+
+  // Simulate the sampler; record the memory state after every step past a
+  // burn-in.
+  OmniscientSampler sampler(c, p, 99);
+  WeightedStreamGenerator gen(p, 101);
+  constexpr int kBurnIn = 20000;
+  constexpr int kSteps = 400000;
+  for (int i = 0; i < kBurnIn; ++i) sampler.process(gen.next());
+
+  std::map<Subset, std::uint64_t> occupancy;
+  for (int i = 0; i < kSteps; ++i) {
+    sampler.process(gen.next());
+    auto mem = sampler.memory();
+    Subset state(mem.begin(), mem.end());
+    std::sort(state.begin(), state.end());
+    ++occupancy[state];
+  }
+
+  // Compare empirical occupancy with pi.  Samples are autocorrelated
+  // (the state changes by at most one id per step), so use a generous
+  // absolute tolerance instead of a chi-square.
+  for (std::size_t s = 0; s < states.size(); ++s) {
+    const auto it = occupancy.find(states[s]);
+    const double freq =
+        it == occupancy.end()
+            ? 0.0
+            : static_cast<double>(it->second) / static_cast<double>(kSteps);
+    EXPECT_NEAR(freq, pi[s], 0.02)
+        << "state {" << states[s][0] << "," << states[s][1] << "}";
+  }
+}
+
+TEST(ChainEmpirical, PerIdInclusionMatchesGamma) {
+  // Theorem 4's gamma_l = c/n at the level of the real sampler: fraction
+  // of time each id spends in memory.
+  const unsigned n = 8, c = 3;
+  std::vector<double> raw(n);
+  double v = 1.0;
+  for (unsigned i = 0; i < n; ++i) {
+    raw[i] = v;
+    v *= 0.55;
+  }
+  const auto p = normalized(std::move(raw));
+
+  OmniscientSampler sampler(c, p, 7);
+  WeightedStreamGenerator gen(p, 9);
+  constexpr int kBurnIn = 30000;
+  constexpr int kSteps = 600000;
+  for (int i = 0; i < kBurnIn; ++i) sampler.process(gen.next());
+  std::vector<std::uint64_t> in_memory(n, 0);
+  for (int i = 0; i < kSteps; ++i) {
+    sampler.process(gen.next());
+    for (NodeId id : sampler.memory()) ++in_memory[id];
+  }
+  const double expected = static_cast<double>(c) / n;
+  for (unsigned id = 0; id < n; ++id) {
+    const double freq =
+        static_cast<double>(in_memory[id]) / static_cast<double>(kSteps);
+    EXPECT_NEAR(freq, expected, 0.03) << "id " << id;
+  }
+}
+
+TEST(ChainEmpirical, OutputMarginalIsUniformUnderSkewedInput) {
+  // Corollary 5 end-to-end on a long run: pool output counts over a long
+  // window; every id's output share ~ 1/n despite 10:1 input skew.
+  const unsigned n = 10, c = 3;
+  std::vector<double> raw(n, 1.0);
+  raw[0] = 10.0;
+  const auto p = normalized(std::move(raw));
+  OmniscientSampler sampler(c, p, 3);
+  WeightedStreamGenerator gen(p, 5);
+  for (int i = 0; i < 30000; ++i) sampler.process(gen.next());
+  std::vector<std::uint64_t> out(n, 0);
+  constexpr int kSteps = 500000;
+  for (int i = 0; i < kSteps; ++i) ++out[sampler.process(gen.next())];
+  for (unsigned id = 0; id < n; ++id) {
+    const double share =
+        static_cast<double>(out[id]) / static_cast<double>(kSteps);
+    EXPECT_NEAR(share, 1.0 / n, 0.025) << "id " << id;
+  }
+}
+
+}  // namespace
+}  // namespace unisamp

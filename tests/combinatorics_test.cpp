@@ -1,0 +1,108 @@
+#include "analysis/combinatorics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace unisamp {
+namespace {
+
+TEST(Binomial, SmallValues) {
+  EXPECT_EQ(binomial(0, 0), 1u);
+  EXPECT_EQ(binomial(1, 0), 1u);
+  EXPECT_EQ(binomial(1, 1), 1u);
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(10, 5), 252u);
+  EXPECT_EQ(binomial(52, 5), 2598960u);
+}
+
+TEST(Binomial, KGreaterThanNIsZero) {
+  EXPECT_EQ(binomial(3, 4), 0u);
+  EXPECT_EQ(binomial(0, 1), 0u);
+}
+
+TEST(Binomial, Symmetry) {
+  for (unsigned n = 1; n <= 30; ++n)
+    for (unsigned k = 0; k <= n; ++k)
+      EXPECT_EQ(binomial(n, k), binomial(n, n - k)) << n << " " << k;
+}
+
+TEST(Binomial, PascalIdentity) {
+  for (unsigned n = 2; n <= 40; ++n)
+    for (unsigned k = 1; k < n; ++k)
+      EXPECT_EQ(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+}
+
+TEST(Binomial, LargeValueStillExact) {
+  // C(61, 30) fits in 64 bits.
+  EXPECT_EQ(binomial(61, 30), 232714176627630544ull);
+}
+
+TEST(Binomial, OverflowThrows) {
+  EXPECT_THROW(binomial(200, 100), std::overflow_error);
+}
+
+TEST(LogBinomial, MatchesExactForSmall) {
+  for (unsigned n = 1; n <= 40; ++n)
+    for (unsigned k = 0; k <= n; ++k)
+      EXPECT_NEAR(std::exp(log_binomial(n, k)),
+                  static_cast<double>(binomial(n, k)),
+                  1e-6 * static_cast<double>(binomial(n, k)) + 1e-9);
+}
+
+TEST(Subsets, EnumerationSizeMatchesBinomial) {
+  for (unsigned n = 1; n <= 9; ++n) {
+    for (unsigned c = 1; c <= n; ++c) {
+      const auto subsets = enumerate_subsets(n, c);
+      EXPECT_EQ(subsets.size(), binomial(n, c));
+    }
+  }
+}
+
+TEST(Subsets, AllDistinctAndSorted) {
+  const auto subsets = enumerate_subsets(7, 3);
+  std::set<Subset> seen;
+  for (const auto& s : subsets) {
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    for (unsigned v : s) EXPECT_LT(v, 7u);
+    EXPECT_TRUE(seen.insert(s).second) << "duplicate subset";
+  }
+}
+
+TEST(Subsets, RankMatchesEnumerationOrder) {
+  const auto subsets = enumerate_subsets(8, 4);
+  for (std::size_t i = 0; i < subsets.size(); ++i)
+    EXPECT_EQ(subset_rank(subsets[i]), i);
+}
+
+TEST(Subsets, UnrankRoundTrip) {
+  for (unsigned n = 2; n <= 9; ++n) {
+    for (unsigned c = 1; c < n; ++c) {
+      const std::uint64_t total = binomial(n, c);
+      for (std::uint64_t r = 0; r < total; ++r) {
+        const Subset s = subset_unrank(r, n, c);
+        EXPECT_EQ(subset_rank(s), r) << "n=" << n << " c=" << c;
+      }
+    }
+  }
+}
+
+TEST(Subsets, SingleSwapDetection) {
+  unsigned leaving = 0, entering = 0;
+  EXPECT_TRUE(single_swap({1, 2, 3}, {1, 2, 4}, leaving, entering));
+  EXPECT_EQ(leaving, 3u);
+  EXPECT_EQ(entering, 4u);
+
+  EXPECT_FALSE(single_swap({1, 2, 3}, {1, 2, 3}, leaving, entering));
+  EXPECT_FALSE(single_swap({1, 2, 3}, {1, 4, 5}, leaving, entering));
+  EXPECT_FALSE(single_swap({1, 2}, {1, 2, 3}, leaving, entering));
+}
+
+TEST(Subsets, EnumerateRejectsInvalid) {
+  EXPECT_THROW(enumerate_subsets(3, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace unisamp

@@ -1,0 +1,140 @@
+// Tests of the exponentially decaying Count-Min extension and the decaying
+// knowledge-free sampler (post-T0 adaptivity).
+#include "sketch/decaying.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/knowledge_free_sampler.hpp"
+#include "metrics/divergence.hpp"
+#include "stream/generators.hpp"
+
+namespace unisamp {
+namespace {
+
+CountMinParams dims(std::size_t k, std::size_t s, std::uint64_t seed = 1) {
+  return CountMinParams::from_dimensions(k, s, seed);
+}
+
+TEST(DecayingSketch, RejectsZeroHalfLife) {
+  EXPECT_THROW(DecayingCountMinSketch(dims(8, 2), 0), std::invalid_argument);
+}
+
+TEST(DecayingSketch, BehavesLikePlainBeforeFirstDecay) {
+  DecayingCountMinSketch dec(dims(32, 4, 7), 1000);
+  CountMinSketch plain(dims(32, 4, 7));
+  for (std::uint64_t i = 0; i < 999; ++i) {
+    dec.update(i % 50);
+    plain.update(i % 50);
+  }
+  EXPECT_EQ(dec.decay_count(), 0u);
+  for (std::uint64_t id = 0; id < 50; ++id)
+    EXPECT_EQ(dec.estimate(id), plain.estimate(id));
+}
+
+TEST(DecayingSketch, DecaysOnSchedule) {
+  DecayingCountMinSketch dec(dims(8, 2), 100);
+  for (int i = 0; i < 1000; ++i) dec.update(5);
+  EXPECT_EQ(dec.decay_count(), 10u);
+}
+
+TEST(DecayingSketch, HalvingBoundsCounterMass) {
+  // With half-life H, a counter's value is bounded by ~2H regardless of
+  // stream length (geometric series), so estimates track the window.
+  DecayingCountMinSketch dec(dims(4, 2), 256);
+  for (int i = 0; i < 100000; ++i) dec.update(1);
+  EXPECT_LE(dec.estimate(1), 2 * 256u);
+  EXPECT_GE(dec.estimate(1), 128u);
+}
+
+TEST(DecayingSketch, ForgetsOldHeavyHitter) {
+  DecayingCountMinSketch dec(dims(64, 4, 3), 512);
+  // Phase 1: id 7 is hot.
+  for (int i = 0; i < 5000; ++i) dec.update(7);
+  const auto hot = dec.estimate(7);
+  EXPECT_GT(hot, 200u);
+  // Phase 2: id 7 vanishes; other traffic continues.
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 20000; ++i) dec.update(1000 + rng.next_below(100));
+  EXPECT_LT(dec.estimate(7), hot / 8)
+      << "stale frequency was not forgotten";
+}
+
+TEST(DecayingSketch, PlainSketchNeverForgets) {
+  // Contrast case: without decay the stale estimate persists forever.
+  CountMinSketch plain(dims(64, 4, 3));
+  for (int i = 0; i < 5000; ++i) plain.update(7);
+  const auto hot = plain.estimate(7);
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 20000; ++i) plain.update(1000 + rng.next_below(100));
+  EXPECT_GE(plain.estimate(7), hot);
+}
+
+TEST(CountMinHalve, HalvesCountersAndTotal) {
+  CountMinSketch sketch(dims(8, 2, 5));
+  sketch.update(3, 10);
+  sketch.update(4, 7);
+  const auto before3 = sketch.estimate(3);
+  sketch.halve();
+  EXPECT_EQ(sketch.estimate(3), before3 / 2);
+  EXPECT_EQ(sketch.total_count(), 8u);  // (10+7)/2 integer division
+}
+
+TEST(DecayingSampler, AdaptsToDistributionShift) {
+  // Scenario the plain sampler handles poorly: the adversary floods id set
+  // A for the first half of the stream, then switches to id set B.  The
+  // decaying sampler's estimates follow; measure that the SECOND half's
+  // output under-represents B's flood better than a plain sampler whose
+  // estimates still amortise over the stale phase-A mass.
+  const std::size_t n = 200;
+  Stream input;
+  {
+    // Phase A: ids 0..9 flooded; background uniform.
+    auto counts = peak_attack_counts(n, 0, 0, 25);
+    for (std::size_t id = 0; id < 10; ++id) counts[id] = 2000;
+    const Stream a = exact_stream(counts, 3);
+    input.insert(input.end(), a.begin(), a.end());
+  }
+  {
+    // Phase B: ids 100..109 flooded.
+    auto counts = peak_attack_counts(n, 0, 0, 25);
+    for (std::size_t id = 100; id < 110; ++id) counts[id] = 2000;
+    const Stream b = exact_stream(counts, 4);
+    input.insert(input.end(), b.begin(), b.end());
+  }
+
+  auto phase_b_flood_share = [&](const Stream& output) {
+    std::size_t hits = 0, total = 0;
+    for (std::size_t i = output.size() / 2; i < output.size(); ++i) {
+      if (output[i] >= 100 && output[i] < 110) ++hits;
+      ++total;
+    }
+    return static_cast<double>(hits) / static_cast<double>(total);
+  };
+
+  KnowledgeFreeSampler plain(10, dims(20, 5, 7), 8);
+  DecayingKnowledgeFreeSampler decaying(
+      10, DecayingCountMinSketch(dims(20, 5, 7), 5000), 8);
+  const double share_plain = phase_b_flood_share(plain.run(input));
+  const double share_decaying = phase_b_flood_share(decaying.run(input));
+  // Phase-B flood is ~44% of phase-B input; both samplers cut it, the
+  // decaying one at least as well (its estimates for B's ids are not
+  // diluted by the stale phase-A window).
+  EXPECT_LT(share_decaying, 0.44);
+  EXPECT_LE(share_decaying, share_plain + 0.02);
+}
+
+TEST(DecayingSampler, StillUnbiasesStationaryPeakAttack) {
+  // Decay must not break the stationary case.
+  const std::size_t n = 300;
+  const auto counts = peak_attack_counts(n, 0, 20000, 30);
+  const Stream input = exact_stream(counts, 21);
+  DecayingKnowledgeFreeSampler sampler(
+      10, DecayingCountMinSketch(dims(10, 5, 3), 10000), 4);
+  const Stream output = sampler.run(input);
+  EXPECT_GT(kl_gain(empirical_distribution(input, n),
+                    empirical_distribution(output, n)),
+            0.4);
+}
+
+}  // namespace
+}  // namespace unisamp

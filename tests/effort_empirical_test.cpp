@@ -1,0 +1,108 @@
+// Empirical validation of the Sec. V effort bounds against the REAL
+// Count-Min sketch: the attack success rates at the analytic budgets
+// L_{k,s} and E_k must land at their design probabilities.
+#include <gtest/gtest.h>
+
+#include "analysis/urn.hpp"
+#include "sketch/count_min.hpp"
+
+namespace unisamp {
+namespace {
+
+// Success of a targeted attack on victim v: every row's counter for v was
+// hit by at least one forged id (estimate strictly above v's own count).
+bool targeted_success(std::size_t k, std::size_t s, std::uint64_t budget,
+                      std::uint64_t seed) {
+  CountMinSketch sketch(CountMinParams::from_dimensions(k, s, seed));
+  const std::uint64_t victim = 424242;
+  sketch.update(victim);
+  for (std::uint64_t i = 0; i < budget; ++i)
+    sketch.update(1'000'000 + i * 7919);  // distinct forged ids
+  return sketch.estimate(victim) > 1;
+}
+
+// Success of a flooding attack: a given ROW fully covered (the paper's
+// E_k criterion is per row-set of k urns).
+double row_fill_rate(std::size_t k, std::size_t s, std::uint64_t budget,
+                     int trials) {
+  int filled_rows = 0, total_rows = 0;
+  for (int t = 0; t < trials; ++t) {
+    CountMinSketch sketch(
+        CountMinParams::from_dimensions(k, s, 7000 + t));
+    for (std::uint64_t i = 0; i < budget; ++i)
+      sketch.update(5'000'000 + i * 104729);
+    for (std::size_t row = 0; row < s; ++row) {
+      bool filled = true;
+      for (std::size_t col = 0; col < k; ++col)
+        if (sketch.counter_at(row, col) == 0) filled = false;
+      if (filled) ++filled_rows;
+      ++total_rows;
+    }
+  }
+  return static_cast<double>(filled_rows) / total_rows;
+}
+
+struct EffortCase {
+  std::size_t k, s;
+  double eta;
+};
+
+class TargetedEffortEmpirical : public ::testing::TestWithParam<EffortCase> {};
+
+TEST_P(TargetedEffortEmpirical, SuccessRateMatchesDesignProbability) {
+  const auto param = GetParam();
+  const std::uint64_t L =
+      targeted_attack_effort(param.k, param.s, param.eta);
+  constexpr int kTrials = 400;
+  int successes = 0;
+  for (int t = 0; t < kTrials; ++t)
+    if (targeted_success(param.k, param.s, L, 100 + t)) ++successes;
+  const double rate = static_cast<double>(successes) / kTrials;
+  // At budget = L the success probability just crossed 1 - eta.  The urn
+  // model assumes one ball per (row, id) thrown independently; the sketch
+  // throws the SAME ids into every row, which correlates rows slightly —
+  // allow a band around the design point.
+  EXPECT_GT(rate, 1.0 - param.eta - 0.08)
+      << "k=" << param.k << " s=" << param.s;
+  EXPECT_LE(rate, 1.0) << "k=" << param.k;
+  // Strictly fewer ids must do strictly worse (quarter budget).
+  int few = 0;
+  for (int t = 0; t < kTrials; ++t)
+    if (targeted_success(param.k, param.s, L / 4, 900 + t)) ++few;
+  EXPECT_LT(few, successes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, TargetedEffortEmpirical,
+                         ::testing::Values(EffortCase{10, 5, 0.1},
+                                           EffortCase{10, 5, 0.5},
+                                           EffortCase{20, 5, 0.1},
+                                           EffortCase{50, 5, 0.5}));
+
+TEST(FloodingEffortEmpirical, RowFillRateAtBudgetIsNearDesign) {
+  // E_k(eta) balls fill one row of k urns w.p. ~1-eta.
+  for (double eta : {0.5, 0.1}) {
+    const std::uint64_t E = flooding_attack_effort(10, eta);
+    const double rate = row_fill_rate(10, 5, E, 200);
+    EXPECT_NEAR(rate, 1.0 - eta, 0.07) << "eta=" << eta;
+  }
+}
+
+TEST(FloodingEffortEmpirical, HalfBudgetFillsFarLess) {
+  const std::uint64_t E = flooding_attack_effort(10, 0.1);
+  const double at_budget = row_fill_rate(10, 5, E, 200);
+  const double at_half = row_fill_rate(10, 5, E / 2, 200);
+  EXPECT_LT(at_half, at_budget - 0.2);
+}
+
+TEST(EffortEmpirical, MemoryGrowthRaisesTheBar) {
+  // The paper's headline defence: doubling k roughly doubles the forged-id
+  // budget required for the same success probability.
+  const std::uint64_t L1 = targeted_attack_effort(25, 5, 0.1);
+  const std::uint64_t L2 = targeted_attack_effort(50, 5, 0.1);
+  const std::uint64_t L4 = targeted_attack_effort(100, 5, 0.1);
+  EXPECT_NEAR(static_cast<double>(L2) / static_cast<double>(L1), 2.0, 0.2);
+  EXPECT_NEAR(static_cast<double>(L4) / static_cast<double>(L2), 2.0, 0.2);
+}
+
+}  // namespace
+}  // namespace unisamp

@@ -1,0 +1,118 @@
+// Tests of the mean-field gain model against simulation of the real
+// knowledge-free sampler.
+#include "analysis/gain_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/knowledge_free_sampler.hpp"
+#include "metrics/divergence.hpp"
+#include "stream/generators.hpp"
+
+namespace unisamp {
+namespace {
+
+GainModelInput from_counts(const std::vector<std::uint64_t>& counts,
+                           std::size_t c, std::size_t k) {
+  GainModelInput in;
+  in.frequencies.assign(counts.begin(), counts.end());
+  in.c = c;
+  in.k = k;
+  return in;
+}
+
+TEST(GainModel, RejectsBadInput) {
+  EXPECT_THROW(evaluate_gain_model(GainModelInput{}), std::invalid_argument);
+  GainModelInput in;
+  in.frequencies = {1.0, 2.0};
+  in.c = 0;
+  EXPECT_THROW(evaluate_gain_model(in), std::invalid_argument);
+}
+
+TEST(GainModel, UniformInputIsFixedPoint) {
+  GainModelInput in = from_counts(std::vector<std::uint64_t>(100, 50), 10, 10);
+  const auto out = evaluate_gain_model(in);
+  for (double a : out.admission) EXPECT_NEAR(a, out.admission[0], 1e-12);
+  for (double s : out.output_share) EXPECT_NEAR(s, 0.01, 1e-9);
+}
+
+TEST(GainModel, ResidenciesSumToMemoryBudget) {
+  const auto counts = peak_attack_counts(200, 0, 20000, 30);
+  const auto out = evaluate_gain_model(from_counts(counts, 15, 10));
+  const double total =
+      std::accumulate(out.residency.begin(), out.residency.end(), 0.0);
+  EXPECT_NEAR(total, 15.0, 0.2);
+  for (double q : out.residency) {
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 1.0 + 1e-9);
+  }
+}
+
+TEST(GainModel, PeakIdSuppressionPredicted) {
+  // The model must predict a strongly reduced output share for the peak id.
+  const auto counts = peak_attack_counts(500, 0, 50000, 50);
+  const auto out = evaluate_gain_model(from_counts(counts, 10, 10));
+  const double input_share = 50000.0 / (50000.0 + 499 * 50.0);
+  EXPECT_GT(input_share, 0.6);
+  // Peak resident almost always (q ~ 0.7), emitting ~q/c of the output:
+  // ~67% of the input cut to under 10% of the output.
+  EXPECT_LT(out.output_share[0], 0.10);
+  EXPECT_GT(out.predicted_kl_gain, 0.5);
+}
+
+TEST(GainModel, PredictsSimulatedPeakAttackGain) {
+  // Quantitative check: model vs actual sampler on the Fig. 7a scenario
+  // (reduced scale).  The mean-field prediction should land within ~0.15
+  // of the simulated gain.
+  const std::size_t n = 500, c = 10, k = 10, s = 5;
+  const auto counts = peak_attack_counts(n, 0, 25000, 25);
+  const Stream input = exact_stream(counts, 31);
+  KnowledgeFreeSampler sampler(
+      c, CountMinParams::from_dimensions(k, s, 41), 43);
+  const Stream output = sampler.run(input);
+  const double simulated = kl_gain(empirical_distribution(input, n),
+                                   empirical_distribution(output, n));
+  const auto out = evaluate_gain_model(from_counts(counts, c, k));
+  EXPECT_NEAR(out.predicted_kl_gain, simulated, 0.15);
+}
+
+TEST(GainModel, PredictsWeakDiscriminationForBandAttack) {
+  // Fig. 7b regime: band frequency below the collision mass m/k means
+  // admission probabilities barely differ -> low predicted gain.  The
+  // model must capture that failure mode.
+  const std::size_t n = 1000;
+  auto weights = truncated_poisson_weights(n, 500.0);
+  double band_mass = 0.0;
+  for (double w : weights) band_mass += w;
+  std::vector<std::uint64_t> counts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double share = 0.5 * weights[i] / band_mass + 0.5 / n;
+    counts[i] = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(share * 100000));
+  }
+  const auto out = evaluate_gain_model(from_counts(counts, 10, 10));
+  EXPECT_LT(out.predicted_kl_gain, 0.4);
+}
+
+TEST(GainModel, MoreMemoryPredictsMoreGain) {
+  // The Fig. 10 lever, analytically.
+  const auto counts = peak_attack_counts(500, 0, 25000, 25);
+  double prev = -1.0;
+  for (std::size_t c : {5u, 20u, 100u, 300u}) {
+    const auto out = evaluate_gain_model(from_counts(counts, c, 10));
+    EXPECT_GT(out.predicted_kl_gain, prev) << "c=" << c;
+    prev = out.predicted_kl_gain;
+  }
+}
+
+TEST(GainModel, AdmissionOrderingFollowsFrequencies) {
+  std::vector<std::uint64_t> counts = {1000, 100, 10, 10, 10};
+  const auto out = evaluate_gain_model(from_counts(counts, 2, 4));
+  EXPECT_LT(out.admission[0], out.admission[1]);
+  EXPECT_LT(out.admission[1], out.admission[2]);
+  EXPECT_NEAR(out.admission[2], out.admission[3], 1e-12);
+}
+
+}  // namespace
+}  // namespace unisamp

@@ -1,0 +1,127 @@
+// Distribution-level validation of the stream generators: empirical
+// frequencies must match the analytic pmfs (chi-square) across the
+// parameter ranges the paper's evaluation uses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "stream/generators.hpp"
+#include "util/stats.hpp"
+
+namespace unisamp {
+namespace {
+
+// Chi-square of observed draws against explicit expected probabilities,
+// pooling tiny-expectation bins (standard validity fix).
+double chi_square_vs_pmf(const std::vector<std::uint64_t>& observed,
+                         const std::vector<double>& pmf,
+                         std::size_t* dof_out) {
+  const double total = static_cast<double>(
+      std::accumulate(observed.begin(), observed.end(), std::uint64_t{0}));
+  double stat = 0.0;
+  double pooled_obs = 0.0, pooled_exp = 0.0;
+  std::size_t bins = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double expect = pmf[i] * total;
+    if (expect < 5.0) {
+      pooled_obs += static_cast<double>(observed[i]);
+      pooled_exp += expect;
+      continue;
+    }
+    const double d = static_cast<double>(observed[i]) - expect;
+    stat += d * d / expect;
+    ++bins;
+  }
+  if (pooled_exp >= 5.0) {
+    const double d = pooled_obs - pooled_exp;
+    stat += d * d / pooled_exp;
+    ++bins;
+  }
+  *dof_out = bins > 1 ? bins - 1 : 1;
+  return stat;
+}
+
+std::vector<double> normalize(std::vector<double> w) {
+  const double s = std::accumulate(w.begin(), w.end(), 0.0);
+  for (double& x : w) x /= s;
+  return w;
+}
+
+class ZipfAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfAlphaSweep, EmpiricalMatchesAnalyticPmf) {
+  const double alpha = GetParam();
+  const std::size_t n = 50;
+  const auto pmf = normalize(zipf_weights(n, alpha));
+  WeightedStreamGenerator gen(zipf_weights(n, alpha),
+                              static_cast<std::uint64_t>(alpha * 100) + 1);
+  std::vector<std::uint64_t> counts(n, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[gen.next()];
+  std::size_t dof = 0;
+  const double stat = chi_square_vs_pmf(counts, pmf, &dof);
+  EXPECT_LT(stat, chi_square_critical(dof, 0.001)) << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfAlphaSweep,
+                         ::testing::Values(0.0, 0.5, 1.0, 2.0, 4.0));
+
+class PoissonLambdaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonLambdaSweep, EmpiricalMatchesAnalyticPmf) {
+  const double lambda = GetParam();
+  const std::size_t n = 200;
+  const auto pmf = normalize(truncated_poisson_weights(n, lambda));
+  WeightedStreamGenerator gen(truncated_poisson_weights(n, lambda),
+                              static_cast<std::uint64_t>(lambda) + 7);
+  std::vector<std::uint64_t> counts(n, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[gen.next()];
+  std::size_t dof = 0;
+  const double stat = chi_square_vs_pmf(counts, pmf, &dof);
+  EXPECT_LT(stat, chi_square_critical(dof, 0.001)) << "lambda=" << lambda;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, PoissonLambdaSweep,
+                         ::testing::Values(5.0, 20.0, 100.0));
+
+TEST(PoissonMeanVariance, MatchesTheory) {
+  // Away from truncation, mean ~ lambda and variance ~ lambda.
+  const double lambda = 50.0;
+  WeightedStreamGenerator gen(truncated_poisson_weights(500, lambda), 9);
+  std::vector<double> draws;
+  for (int i = 0; i < 50000; ++i)
+    draws.push_back(static_cast<double>(gen.next()));
+  const Summary s = summarize(draws);
+  EXPECT_NEAR(s.mean, lambda, 0.5);
+  EXPECT_NEAR(s.variance, lambda, 2.5);
+}
+
+TEST(ZipfMassRatios, FollowPowerLaw) {
+  for (double alpha : {1.0, 2.0, 3.0}) {
+    const auto w = zipf_weights(100, alpha);
+    for (std::size_t i : {1u, 4u, 9u}) {
+      const double expected = std::pow(
+          static_cast<double>(i + 1) / static_cast<double>(i + 2), -alpha);
+      EXPECT_NEAR(w[i + 1] / w[i], 1.0 / expected, 1e-9);
+    }
+  }
+}
+
+TEST(ExactStreamShuffle, PositionOfPeakIdIsUniform) {
+  // The shuffle must not cluster a given id: the mean position of the
+  // singleton id over many shuffles is m/2.
+  std::vector<std::uint64_t> counts(100, 1);
+  counts[50] = 1;  // track id 50 (singleton)
+  double sum_pos = 0.0;
+  constexpr int kTrials = 2000;
+  for (int t = 0; t < kTrials; ++t) {
+    const Stream s = exact_stream(counts, 100 + t);
+    for (std::size_t i = 0; i < s.size(); ++i)
+      if (s[i] == 50) sum_pos += static_cast<double>(i);
+  }
+  const double mean_pos = sum_pos / kTrials;
+  EXPECT_NEAR(mean_pos, 49.5, 2.0);
+}
+
+}  // namespace
+}  // namespace unisamp

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "hash/minwise.hpp"
+#include "hash/two_universal.hpp"
+#include "util/stats.hpp"
+
+namespace unisamp {
+namespace {
+
+TEST(TwoUniversal, OutputsStayInRange) {
+  Xoshiro256 rng(1);
+  for (std::uint64_t range : {1ull, 2ull, 17ull, 1000ull}) {
+    TwoUniversalHash h(range, rng);
+    for (std::uint64_t x = 0; x < 5000; ++x) EXPECT_LT(h(x), range);
+  }
+}
+
+TEST(TwoUniversal, DeterministicGivenCoefficients) {
+  TwoUniversalHash h1(100, 12345, 678);
+  TwoUniversalHash h2(100, 12345, 678);
+  for (std::uint64_t x = 0; x < 1000; ++x) EXPECT_EQ(h1(x), h2(x));
+}
+
+TEST(TwoUniversal, DifferentCoefficientsDiffer) {
+  TwoUniversalHash h1(1000, 12345, 678);
+  TwoUniversalHash h2(1000, 54321, 876);
+  int differences = 0;
+  for (std::uint64_t x = 0; x < 1000; ++x)
+    if (h1(x) != h2(x)) ++differences;
+  EXPECT_GT(differences, 900);
+}
+
+TEST(TwoUniversal, EmpiricalCollisionRateNearOneOverK) {
+  // 2-universality: P{h(x) = h(y)} <= 1/k over the random choice of h.
+  // Estimate over many hash draws for a fixed pair.
+  constexpr std::uint64_t kRange = 64;
+  constexpr int kFamilies = 20000;
+  Xoshiro256 rng(7);
+  int collisions = 0;
+  for (int i = 0; i < kFamilies; ++i) {
+    TwoUniversalHash h(kRange, rng);
+    if (h(123456) == h(654321)) ++collisions;
+  }
+  const double rate = static_cast<double>(collisions) / kFamilies;
+  // Allow 50% slack above 1/k for sampling noise (3-sigma ~ 0.0026).
+  EXPECT_LT(rate, 1.5 / static_cast<double>(kRange));
+}
+
+TEST(TwoUniversal, ImageIsRoughlyUniform) {
+  Xoshiro256 rng(42);
+  constexpr std::uint64_t kRange = 32;
+  TwoUniversalHash h(kRange, rng);
+  std::vector<std::uint64_t> counts(kRange, 0);
+  for (std::uint64_t x = 0; x < 320000; ++x) ++counts[h(x)];
+  EXPECT_LT(chi_square_statistic(counts),
+            chi_square_critical(kRange - 1, 0.001));
+}
+
+TEST(TwoUniversal, RejectsZeroRange) {
+  Xoshiro256 rng(1);
+  EXPECT_THROW(TwoUniversalHash(0, rng), std::invalid_argument);
+}
+
+TEST(TwoUniversalFamily, MembersAreIndependentlySeeded) {
+  TwoUniversalFamily fam(5, 1000, 9);
+  std::set<std::pair<std::uint64_t, std::uint64_t>> coeffs;
+  for (std::size_t i = 0; i < fam.size(); ++i)
+    coeffs.insert({fam.at(i).coeff_a(), fam.at(i).coeff_b()});
+  EXPECT_EQ(coeffs.size(), 5u);
+  // Same seed reproduces the same family.
+  TwoUniversalFamily fam2(5, 1000, 9);
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::uint64_t x = 0; x < 100; ++x)
+      EXPECT_EQ(fam(i, x), fam2(i, x));
+}
+
+TEST(MinWise, DeterministicByKey) {
+  MinWiseHash h1(77), h2(77), h3(78);
+  EXPECT_EQ(h1(123), h2(123));
+  EXPECT_NE(h1(123), h3(123));
+}
+
+TEST(MinWise, MinimumIsRoughlyUniformOverSet) {
+  // Min-wise property: over random keys, each element of a fixed set should
+  // be the minimizer equally often.
+  constexpr int kSetSize = 10;
+  constexpr int kDraws = 50000;
+  Xoshiro256 rng(3);
+  std::vector<std::uint64_t> wins(kSetSize, 0);
+  for (int d = 0; d < kDraws; ++d) {
+    MinWiseHash h = MinWiseHash::random(rng);
+    int best = 0;
+    std::uint64_t best_image = h(1000);
+    for (int i = 1; i < kSetSize; ++i) {
+      const std::uint64_t img = h(1000 + i);
+      if (img < best_image) {
+        best_image = img;
+        best = i;
+      }
+    }
+    ++wins[best];
+  }
+  EXPECT_LT(chi_square_statistic(wins), chi_square_critical(kSetSize - 1, 0.001));
+}
+
+}  // namespace
+}  // namespace unisamp

@@ -1,0 +1,224 @@
+// Tests of Algorithm 3 (knowledge-free strategy) and the service facade.
+#include "core/knowledge_free_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "adversary/attacks.hpp"
+#include "core/sampling_service.hpp"
+#include "metrics/divergence.hpp"
+#include "stream/generators.hpp"
+#include "util/stats.hpp"
+
+namespace unisamp {
+namespace {
+
+CountMinParams dims(std::size_t k, std::size_t s, std::uint64_t seed = 1) {
+  return CountMinParams::from_dimensions(k, s, seed);
+}
+
+TEST(KnowledgeFree, RejectsZeroCapacity) {
+  EXPECT_THROW(KnowledgeFreeSampler(0, dims(10, 5), 1), std::invalid_argument);
+}
+
+TEST(KnowledgeFree, SampleBeforeProcessingThrows) {
+  KnowledgeFreeSampler sampler(3, dims(10, 5), 1);
+  EXPECT_THROW(sampler.sample(), std::logic_error);
+}
+
+TEST(KnowledgeFree, MemoryInvariants) {
+  KnowledgeFreeSampler sampler(8, dims(15, 5), 3);
+  WeightedStreamGenerator gen(zipf_weights(200, 1.0), 5);
+  for (int i = 0; i < 5000; ++i) {
+    sampler.process(gen.next());
+    const auto mem = sampler.memory();
+    ASSERT_LE(mem.size(), 8u);
+    std::set<NodeId> uniq(mem.begin(), mem.end());
+    ASSERT_EQ(uniq.size(), mem.size());
+  }
+  EXPECT_EQ(sampler.memory().size(), 8u);
+}
+
+TEST(KnowledgeFree, OutputLengthMatchesInput) {
+  KnowledgeFreeSampler sampler(5, dims(10, 5), 7);
+  WeightedStreamGenerator gen(uniform_weights(50), 9);
+  const Stream input = gen.take(1000);
+  EXPECT_EQ(sampler.run(input).size(), input.size());
+}
+
+TEST(KnowledgeFree, DeterministicBySeed) {
+  WeightedStreamGenerator gen(zipf_weights(100, 2.0), 1);
+  const Stream input = gen.take(2000);
+  KnowledgeFreeSampler s1(5, dims(10, 5, 3), 42);
+  KnowledgeFreeSampler s2(5, dims(10, 5, 3), 42);
+  EXPECT_EQ(s1.run(input), s2.run(input));
+}
+
+TEST(KnowledgeFree, NoEvictionWhileMinCounterIsZero) {
+  // With a huge sketch, min_sigma stays 0 for a long time: after Gamma
+  // fills with the first c distinct ids, membership must freeze until every
+  // counter is touched (faithful Algorithm 3 cold-start semantics).
+  KnowledgeFreeSampler sampler(3, dims(1024, 4), 5);
+  sampler.process(100);
+  sampler.process(200);
+  sampler.process(300);
+  const auto gamma0 = sampler.memory();
+  for (NodeId id = 0; id < 50; ++id) sampler.process(id);
+  EXPECT_EQ(sampler.sketch().min_counter(), 0u);
+  const auto gamma1 = sampler.memory();
+  EXPECT_EQ(std::set<NodeId>(gamma0.begin(), gamma0.end()),
+            std::set<NodeId>(gamma1.begin(), gamma1.end()));
+}
+
+TEST(KnowledgeFree, GainPositiveUnderPeakAttack) {
+  // Paper Fig. 7a settings: m = 100000, n = 1000, c = 10, k = 10, s = 5.
+  const std::size_t n = 1000;
+  const auto counts = peak_attack_counts(n, 0, 50000, 50);
+  const Stream input = exact_stream(counts, 13);
+  KnowledgeFreeSampler sampler(10, dims(10, 5, 21), 22);
+  const Stream output = sampler.run(input);
+  const auto in_dist = empirical_distribution(input, n);
+  const auto out_dist = empirical_distribution(output, n);
+  const double gain = kl_gain(in_dist, out_dist);
+  EXPECT_GT(gain, 0.5) << "knowledge-free strategy failed to unbias";
+  // Paper: peak frequency reduced by a factor ~50.
+  FrequencyHistogram in_h, out_h;
+  in_h.add_stream(input);
+  out_h.add_stream(output);
+  EXPECT_LT(static_cast<double>(out_h.count(0)),
+            static_cast<double>(in_h.count(0)) / 5.0);
+}
+
+TEST(KnowledgeFree, LargerMemoryMasksAttackBetter) {
+  // Fig. 10a: increasing c masks the peak attack.
+  const std::size_t n = 300;
+  const auto counts = peak_attack_counts(n, 0, 20000, 30);
+  const Stream input = exact_stream(counts, 41);
+  const auto in_dist = empirical_distribution(input, n);
+  double small_gain = 0.0, large_gain = 0.0;
+  {
+    KnowledgeFreeSampler sampler(2, dims(10, 5, 3), 4);
+    small_gain = kl_gain(in_dist,
+                         empirical_distribution(sampler.run(input), n));
+  }
+  {
+    KnowledgeFreeSampler sampler(100, dims(10, 5, 3), 4);
+    large_gain = kl_gain(in_dist,
+                         empirical_distribution(sampler.run(input), n));
+  }
+  EXPECT_GT(large_gain, small_gain);
+  EXPECT_GT(large_gain, 0.9);
+}
+
+TEST(KnowledgeFree, FreshnessUnderBias) {
+  const std::size_t n = 100;
+  const auto counts = peak_attack_counts(n, 0, 10000, 30);
+  KnowledgeFreeSampler sampler(10, dims(15, 5, 5), 6);
+  const Stream output = sampler.run(exact_stream(counts, 7));
+  std::set<NodeId> seen(output.begin(), output.end());
+  EXPECT_GT(seen.size(), n * 3 / 4) << "too many ids never sampled";
+}
+
+TEST(KnowledgeFree, InsertionProbabilityIsMinOverEstimate) {
+  KnowledgeFreeSampler sampler(2, dims(4, 2, 9), 10);
+  // Flood every counter so min_sigma > 0.
+  for (NodeId id = 0; id < 100; ++id) sampler.process(id);
+  ASSERT_GT(sampler.sketch().min_counter(), 0u);
+  const double a = sampler.insertion_probability(5);
+  const double expected = static_cast<double>(sampler.sketch().min_counter()) /
+                          static_cast<double>(sampler.sketch().estimate(5));
+  EXPECT_DOUBLE_EQ(a, expected);
+  EXPECT_LE(a, 1.0);
+}
+
+TEST(ConservativeVariant, WorksAndIsAtLeastAsAccurate) {
+  const std::size_t n = 300;
+  const auto counts = peak_attack_counts(n, 0, 20000, 30);
+  const Stream input = exact_stream(counts, 55);
+  const auto in_dist = empirical_distribution(input, n);
+  ConservativeKnowledgeFreeSampler cons(10, dims(10, 5, 3), 4);
+  const double g = kl_gain(in_dist, empirical_distribution(cons.run(input), n));
+  EXPECT_GT(g, 0.3);
+}
+
+// Parameterized sweep over sketch shapes (paper's evaluation grid).
+struct ShapeParam {
+  std::size_t c, k, s;
+};
+
+class KnowledgeFreeShapeSweep : public ::testing::TestWithParam<ShapeParam> {};
+
+TEST_P(KnowledgeFreeShapeSweep, UnbiasesPeakAttack) {
+  const auto param = GetParam();
+  const std::size_t n = 500;
+  const auto counts = peak_attack_counts(n, 0, 25000, 25);
+  const Stream input = exact_stream(counts, param.c * 131 + param.k);
+  KnowledgeFreeSampler sampler(param.c,
+                               dims(param.k, param.s, param.s * 17 + 3),
+                               param.k * 29 + 7);
+  const Stream output = sampler.run(input);
+  const double gain = kl_gain(empirical_distribution(input, n),
+                              empirical_distribution(output, n));
+  EXPECT_GT(gain, 0.35) << "c=" << param.c << " k=" << param.k
+                        << " s=" << param.s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, KnowledgeFreeShapeSweep,
+    ::testing::Values(ShapeParam{10, 10, 5},    // Fig. 7 settings
+                      ShapeParam{15, 15, 17},   // Fig. 6 settings
+                      ShapeParam{10, 10, 17},   // Fig. 8/9 settings
+                      ShapeParam{50, 50, 10},   // Fig. 11 settings
+                      ShapeParam{25, 20, 4},    //
+                      ShapeParam{100, 20, 8}));
+
+// --- Service facade ---------------------------------------------------------
+
+TEST(SamplingService, RecordsOutputAndHistogram) {
+  ServiceConfig cfg;
+  cfg.strategy = Strategy::kKnowledgeFree;
+  cfg.memory_size = 5;
+  cfg.sketch_width = 10;
+  cfg.sketch_depth = 5;
+  cfg.seed = 3;
+  SamplingService service(cfg);
+  EXPECT_EQ(service.sample(), std::nullopt);
+  WeightedStreamGenerator gen(uniform_weights(20), 5);
+  service.on_receive_stream(gen.take(500));
+  EXPECT_EQ(service.processed(), 500u);
+  EXPECT_EQ(service.output_stream().size(), 500u);
+  EXPECT_EQ(service.output_histogram().total(), 500u);
+  EXPECT_TRUE(service.sample().has_value());
+}
+
+TEST(SamplingService, OmniscientStrategyNeedsProbabilities) {
+  ServiceConfig cfg;
+  cfg.strategy = Strategy::kOmniscient;
+  EXPECT_THROW(SamplingService{cfg}, std::invalid_argument);
+  cfg.known_probabilities = std::vector<double>(10, 0.1);
+  SamplingService service(cfg);
+  service.on_receive(3);
+  EXPECT_TRUE(service.sample().has_value());
+}
+
+TEST(SamplingService, RecordingCanBeDisabled) {
+  ServiceConfig cfg;
+  cfg.record_output = false;
+  cfg.seed = 9;
+  SamplingService service(cfg);
+  WeightedStreamGenerator gen(uniform_weights(10), 1);
+  service.on_receive_stream(gen.take(100));
+  EXPECT_TRUE(service.output_stream().empty());
+  EXPECT_EQ(service.output_histogram().total(), 100u);
+}
+
+TEST(SamplingService, StrategyNames) {
+  EXPECT_EQ(to_string(Strategy::kOmniscient), "omniscient");
+  EXPECT_EQ(to_string(Strategy::kKnowledgeFree), "knowledge-free");
+  EXPECT_EQ(to_string(Strategy::kConservativeSketch),
+            "knowledge-free/conservative");
+}
+
+}  // namespace
+}  // namespace unisamp

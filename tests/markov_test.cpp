@@ -1,0 +1,164 @@
+// Numerical verification of Theorems 3-5 (Sec. IV-A) on concrete chains.
+#include "analysis/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "analysis/combinatorics.hpp"
+
+namespace unisamp {
+namespace {
+
+std::vector<double> normalized(std::vector<double> w) {
+  const double s = std::accumulate(w.begin(), w.end(), 0.0);
+  for (double& x : w) x /= s;
+  return w;
+}
+
+// A deliberately skewed occurrence distribution (adversarially biased
+// stream): p ~ geometric-ish decay.
+std::vector<double> skewed_probabilities(unsigned n) {
+  std::vector<double> p(n);
+  double v = 1.0;
+  for (unsigned i = 0; i < n; ++i) {
+    p[i] = v;
+    v *= 0.6;
+  }
+  return normalized(std::move(p));
+}
+
+TEST(SamplerChain, MatrixIsStochastic) {
+  const auto params = omniscient_parameters(3, skewed_probabilities(7));
+  SamplerChain chain(params);
+  EXPECT_EQ(chain.state_count(), binomial(7, 3));
+  EXPECT_LT(chain.stochasticity_defect(), 1e-12);
+}
+
+TEST(SamplerChain, OffDiagonalEntriesMatchDefinition) {
+  const auto params = omniscient_parameters(2, skewed_probabilities(5));
+  SamplerChain chain(params);
+  const auto& states = chain.states();
+  for (std::size_t ai = 0; ai < states.size(); ++ai) {
+    double r_sum = 0.0;
+    for (unsigned l : states[ai]) r_sum += params.r[l];
+    for (std::size_t bi = 0; bi < states.size(); ++bi) {
+      if (ai == bi) continue;
+      unsigned leaving = 0, entering = 0;
+      if (single_swap(states[ai], states[bi], leaving, entering)) {
+        const double expected = params.r[leaving] / r_sum *
+                                params.p[entering] * params.a[entering];
+        EXPECT_NEAR(chain.transition(ai, bi), expected, 1e-15);
+      } else {
+        EXPECT_DOUBLE_EQ(chain.transition(ai, bi), 0.0);
+      }
+    }
+  }
+}
+
+// Theorem 3: the chain is reversible w.r.t. the closed-form pi — for ANY
+// admissible (p, a, r), not just the omniscient choice.
+TEST(SamplerChain, Theorem3ReversibilityGeneralParameters) {
+  SamplerChainParams params;
+  params.n = 6;
+  params.c = 3;
+  params.p = normalized({0.30, 0.25, 0.20, 0.12, 0.08, 0.05});
+  params.a = {0.9, 0.5, 0.8, 1.0, 0.7, 0.6};          // arbitrary in (0,1]
+  params.r = {0.5, 1.5, 1.0, 2.0, 0.25, 0.75};        // arbitrary positive
+  SamplerChain chain(params);
+  const auto pi = chain.stationary_closed_form();
+  EXPECT_LT(chain.reversibility_defect(pi), 1e-14);
+  // And pi is genuinely stationary: power iteration converges to it.
+  const auto pi_power = chain.stationary_power_iteration();
+  for (std::size_t i = 0; i < pi.size(); ++i)
+    EXPECT_NEAR(pi_power[i], pi[i], 1e-8) << "state " << i;
+}
+
+// Theorem 4 + Corollary 5: with a_j = min(p)/p_j and r_j = 1/n the
+// stationary distribution is uniform over subsets and gamma_l = c/n.
+TEST(SamplerChain, Theorem4UniformStationaryUnderOmniscientChoice) {
+  for (unsigned n : {5u, 7u}) {
+    for (unsigned c = 1; c < n; ++c) {
+      const auto params = omniscient_parameters(c, skewed_probabilities(n));
+      SamplerChain chain(params);
+      const auto pi = chain.stationary_closed_form();
+      const double uniform = 1.0 / static_cast<double>(chain.state_count());
+      for (double x : pi) EXPECT_NEAR(x, uniform, 1e-12);
+
+      const auto gamma = chain.inclusion_probabilities(pi);
+      const double expected = static_cast<double>(c) / n;
+      for (unsigned l = 0; l < n; ++l)
+        EXPECT_NEAR(gamma[l], expected, 1e-12)
+            << "n=" << n << " c=" << c << " id=" << l;
+    }
+  }
+}
+
+TEST(SamplerChain, PowerIterationAgreesWithClosedFormUnderBias) {
+  // Heavy bias: one id occurs 1000x more often than the rarest.
+  std::vector<double> p = normalized({1000, 1, 1, 1, 1, 1});
+  const auto params = omniscient_parameters(2, p);
+  SamplerChain chain(params);
+  const auto pi = chain.stationary_power_iteration();
+  const double uniform = 1.0 / static_cast<double>(chain.state_count());
+  for (double x : pi) EXPECT_NEAR(x, uniform, 1e-7);
+}
+
+// Without the omniscient correction (a_j = const), frequent ids dominate:
+// the stationary distribution is NOT uniform.  This is the quantitative
+// version of "a naive sampler is biased by the adversary".
+TEST(SamplerChain, ConstantInsertionProbabilityIsBiased) {
+  SamplerChainParams params;
+  params.n = 6;
+  params.c = 2;
+  params.p = normalized({100, 1, 1, 1, 1, 1});
+  params.a.assign(6, 1.0);                    // accept everything
+  params.r.assign(6, 1.0 / 6.0);              // uniform eviction
+  SamplerChain chain(params);
+  const auto pi = chain.stationary_power_iteration();
+  const auto gamma = chain.inclusion_probabilities(pi);
+  // id 0 (the flooded one) should hog the memory...
+  EXPECT_GT(gamma[0], 0.9);
+  // ...far above its fair share c/n = 1/3.
+  EXPECT_GT(gamma[0], 2.5 * (2.0 / 6.0));
+}
+
+TEST(SamplerChain, InclusionProbabilitiesSumToC) {
+  const auto params = omniscient_parameters(3, skewed_probabilities(8));
+  SamplerChain chain(params);
+  const auto pi = chain.stationary_power_iteration();
+  const auto gamma = chain.inclusion_probabilities(pi);
+  const double sum = std::accumulate(gamma.begin(), gamma.end(), 0.0);
+  EXPECT_NEAR(sum, 3.0, 1e-9);
+}
+
+TEST(SamplerChain, RejectsInvalidParameters) {
+  auto p = skewed_probabilities(5);
+  EXPECT_THROW(SamplerChain{omniscient_parameters(0, p)},
+               std::invalid_argument);
+  EXPECT_THROW(SamplerChain{omniscient_parameters(5, p)},
+               std::invalid_argument);
+  SamplerChainParams bad = omniscient_parameters(2, p);
+  bad.a[0] = 0.0;
+  EXPECT_THROW(SamplerChain{bad}, std::invalid_argument);
+  bad = omniscient_parameters(2, p);
+  bad.r[1] = -1.0;
+  EXPECT_THROW(SamplerChain{bad}, std::invalid_argument);
+}
+
+TEST(OmniscientParameters, MatchCorollary5) {
+  const auto p = skewed_probabilities(6);
+  const auto params = omniscient_parameters(3, p);
+  const double pmin = *std::min_element(p.begin(), p.end());
+  for (unsigned j = 0; j < 6; ++j) {
+    EXPECT_DOUBLE_EQ(params.a[j], pmin / p[j]);
+    EXPECT_DOUBLE_EQ(params.r[j], 1.0 / 6.0);
+  }
+  // a_j in (0, 1] always, = 1 exactly for the rarest id.
+  const double amax = *std::max_element(params.a.begin(), params.a.end());
+  EXPECT_DOUBLE_EQ(amax, 1.0);
+}
+
+}  // namespace
+}  // namespace unisamp

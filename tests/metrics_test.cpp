@@ -1,0 +1,206 @@
+#include "metrics/divergence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace unisamp {
+namespace {
+
+TEST(Entropy, UniformIsLogN) {
+  const std::vector<double> u(8, 1.0 / 8.0);
+  EXPECT_NEAR(entropy(u), std::log(8.0), 1e-12);
+}
+
+TEST(Entropy, DegenerateIsZero) {
+  const std::vector<double> v = {1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(entropy(v), 0.0);
+}
+
+TEST(Entropy, KnownBinaryValue) {
+  const std::vector<double> v = {0.25, 0.75};
+  const double expected = -0.25 * std::log(0.25) - 0.75 * std::log(0.75);
+  EXPECT_NEAR(entropy(v), expected, 1e-12);
+}
+
+TEST(KL, ZeroForIdenticalDistributions) {
+  const std::vector<double> v = {0.2, 0.3, 0.5};
+  EXPECT_NEAR(kl_divergence(v, v), 0.0, 1e-12);
+}
+
+TEST(KL, PositiveForDifferentDistributions) {
+  const std::vector<double> v = {0.9, 0.1};
+  const std::vector<double> w = {0.5, 0.5};
+  EXPECT_GT(kl_divergence(v, w), 0.0);
+}
+
+TEST(KL, MatchesHandComputedValue) {
+  const std::vector<double> v = {0.75, 0.25};
+  const std::vector<double> w = {0.5, 0.5};
+  const double expected =
+      0.75 * std::log(0.75 / 0.5) + 0.25 * std::log(0.25 / 0.5);
+  EXPECT_NEAR(kl_divergence(v, w), expected, 1e-12);
+}
+
+TEST(KL, EqualsCrossEntropyMinusEntropy) {
+  const std::vector<double> v = {0.1, 0.2, 0.3, 0.4};
+  const std::vector<double> w = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(kl_divergence(v, w), cross_entropy(v, w) - entropy(v), 1e-12);
+}
+
+TEST(KL, SmoothingKeepsResultFinite) {
+  const std::vector<double> v = {1.0, 0.0};
+  const std::vector<double> w = {0.0, 1.0};
+  const double d = kl_divergence(v, w);
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_GT(d, 10.0);  // log(1/1e-12) ~ 27.6
+}
+
+TEST(KL, FromUniformHelper) {
+  const std::vector<double> v = {0.7, 0.1, 0.1, 0.1};
+  const std::vector<double> u(4, 0.25);
+  EXPECT_NEAR(kl_from_uniform(v), kl_divergence(v, u), 1e-12);
+}
+
+TEST(KL, SizeMismatchThrows) {
+  EXPECT_THROW(
+      kl_divergence(std::vector<double>{1.0}, std::vector<double>{0.5, 0.5}),
+      std::invalid_argument);
+}
+
+TEST(Gain, PerfectUnbiasingIsOne) {
+  const std::vector<double> biased = {0.97, 0.01, 0.01, 0.01};
+  const std::vector<double> uniform(4, 0.25);
+  EXPECT_NEAR(kl_gain(biased, uniform), 1.0, 1e-9);
+}
+
+TEST(Gain, NoImprovementIsZero) {
+  const std::vector<double> biased = {0.97, 0.01, 0.01, 0.01};
+  EXPECT_NEAR(kl_gain(biased, biased), 0.0, 1e-9);
+}
+
+TEST(Gain, WorseningIsNegative) {
+  const std::vector<double> mild = {0.4, 0.2, 0.2, 0.2};
+  const std::vector<double> severe = {0.97, 0.01, 0.01, 0.01};
+  EXPECT_LT(kl_gain(mild, severe), 0.0);
+}
+
+TEST(Gain, UniformInputConvention) {
+  const std::vector<double> uniform(4, 0.25);
+  const std::vector<double> biased = {0.9, 0.05, 0.03, 0.02};
+  EXPECT_DOUBLE_EQ(kl_gain(uniform, uniform), 1.0);
+  EXPECT_DOUBLE_EQ(kl_gain(uniform, biased), 0.0);
+}
+
+TEST(TotalVariation, KnownValuesAndBounds) {
+  const std::vector<double> v = {1.0, 0.0};
+  const std::vector<double> w = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(total_variation(v, w), 1.0);
+  EXPECT_DOUBLE_EQ(total_variation(v, v), 0.0);
+  const std::vector<double> a = {0.6, 0.4};
+  const std::vector<double> b = {0.5, 0.5};
+  EXPECT_NEAR(total_variation(a, b), 0.1, 1e-12);
+}
+
+TEST(ChiSquareDivergence, ZeroForIdentical) {
+  const std::vector<double> v = {0.3, 0.7};
+  EXPECT_DOUBLE_EQ(chi_square_divergence(v, v), 0.0);
+}
+
+TEST(ChiSquareDivergence, UpperBoundsKL) {
+  // Standard inequality: D_KL(v||w) <= chi2(v||w) for distributions.
+  const std::vector<double> v = {0.5, 0.3, 0.2};
+  const std::vector<double> w = {0.2, 0.5, 0.3};
+  EXPECT_LE(kl_divergence(v, w), chi_square_divergence(v, w) + 1e-12);
+}
+
+TEST(EmpiricalDistribution, CountsAndNormalises) {
+  const std::vector<std::uint64_t> ids = {0, 0, 1, 2, 2, 2};
+  const auto d = empirical_distribution(ids, 4);
+  EXPECT_NEAR(d[0], 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(d[1], 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(d[2], 3.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(d[3], 0.0);
+}
+
+TEST(EmpiricalDistribution, IgnoresOutOfDomainIds) {
+  const std::vector<std::uint64_t> ids = {0, 1, 99};
+  const auto d = empirical_distribution(ids, 2);
+  EXPECT_NEAR(d[0] + d[1], 1.0, 1e-12);
+}
+
+TEST(StreamKL, UniformStreamHasNearZeroDivergence) {
+  std::vector<std::uint64_t> ids;
+  for (int rep = 0; rep < 100; ++rep)
+    for (std::uint64_t id = 0; id < 10; ++id) ids.push_back(id);
+  EXPECT_NEAR(stream_kl_from_uniform(ids, 10), 0.0, 1e-12);
+}
+
+TEST(StreamKL, PeakedStreamHasLargeDivergence) {
+  std::vector<std::uint64_t> ids(1000, 0);
+  for (std::uint64_t id = 1; id < 10; ++id) ids.push_back(id);
+  EXPECT_GT(stream_kl_from_uniform(ids, 10), 1.0);
+}
+
+
+TEST(Hellinger, BasicProperties) {
+  const std::vector<double> v = {0.5, 0.5};
+  const std::vector<double> w = {1.0, 0.0};
+  EXPECT_DOUBLE_EQ(hellinger_distance(v, v), 0.0);
+  EXPECT_GT(hellinger_distance(v, w), 0.0);
+  EXPECT_LE(hellinger_distance(v, w), 1.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(hellinger_distance(v, w), hellinger_distance(w, v));
+  // Disjoint supports -> maximal distance 1.
+  const std::vector<double> a = {1.0, 0.0};
+  const std::vector<double> b = {0.0, 1.0};
+  EXPECT_NEAR(hellinger_distance(a, b), 1.0, 1e-12);
+}
+
+TEST(Hellinger, KnownValue) {
+  // H^2 = 1 - sum sqrt(v w); for v = (.5,.5), w = (.9,.1):
+  const std::vector<double> v = {0.5, 0.5};
+  const std::vector<double> w = {0.9, 0.1};
+  const double bc = std::sqrt(0.45) + std::sqrt(0.05);
+  EXPECT_NEAR(hellinger_distance(v, w), std::sqrt(1.0 - bc), 1e-12);
+}
+
+TEST(JensenShannon, BoundedAndSymmetric) {
+  const std::vector<double> a = {1.0, 0.0};
+  const std::vector<double> b = {0.0, 1.0};
+  EXPECT_NEAR(jensen_shannon(a, b), std::log(2.0), 1e-12);  // max value
+  EXPECT_DOUBLE_EQ(jensen_shannon(a, a), 0.0);
+  const std::vector<double> v = {0.7, 0.3};
+  const std::vector<double> w = {0.4, 0.6};
+  EXPECT_DOUBLE_EQ(jensen_shannon(v, w), jensen_shannon(w, v));
+  EXPECT_GT(jensen_shannon(v, w), 0.0);
+  EXPECT_LT(jensen_shannon(v, w), std::log(2.0));
+}
+
+TEST(Renyi, ApproachesKlAsAlphaApproachesOne) {
+  const std::vector<double> v = {0.6, 0.3, 0.1};
+  const std::vector<double> w = {0.2, 0.3, 0.5};
+  const double kl = kl_divergence(v, w);
+  EXPECT_NEAR(renyi_divergence(v, w, 0.999), kl, 0.01);
+  EXPECT_NEAR(renyi_divergence(v, w, 1.001), kl, 0.01);
+}
+
+TEST(Renyi, MonotoneInAlpha) {
+  const std::vector<double> v = {0.8, 0.2};
+  const std::vector<double> w = {0.5, 0.5};
+  double prev = 0.0;
+  for (double alpha : {0.25, 0.5, 2.0, 4.0}) {
+    const double d = renyi_divergence(v, w, alpha);
+    EXPECT_GE(d, prev - 1e-12) << "alpha=" << alpha;
+    prev = d;
+  }
+}
+
+TEST(Renyi, RejectsBadAlpha) {
+  const std::vector<double> v = {0.5, 0.5};
+  EXPECT_THROW(renyi_divergence(v, v, 1.0), std::invalid_argument);
+  EXPECT_THROW(renyi_divergence(v, v, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace unisamp

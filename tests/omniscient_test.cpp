@@ -1,0 +1,183 @@
+// Tests of Algorithm 1: Uniformity and Freshness under adversarial bias
+// (Corollary 5), plus mechanical invariants.
+#include "core/omniscient_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "metrics/divergence.hpp"
+#include "stream/generators.hpp"
+#include "stream/histogram.hpp"
+#include "util/stats.hpp"
+
+namespace unisamp {
+namespace {
+
+std::vector<double> probabilities_from_counts(
+    const std::vector<std::uint64_t>& counts) {
+  const double total = static_cast<double>(
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0}));
+  std::vector<double> p(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i)
+    p[i] = static_cast<double>(counts[i]) / total;
+  return p;
+}
+
+TEST(Omniscient, RejectsBadConstruction) {
+  EXPECT_THROW(OmniscientSampler(0, {0.5, 0.5}, 1), std::invalid_argument);
+  EXPECT_THROW(OmniscientSampler(2, {}, 1), std::invalid_argument);
+  EXPECT_THROW(OmniscientSampler(2, {0.5, 0.0, 0.5}, 1),
+               std::invalid_argument);
+}
+
+TEST(Omniscient, InsertionProbabilityMatchesCorollary5) {
+  const std::vector<double> p = {0.5, 0.3, 0.2};
+  OmniscientSampler sampler(2, p, 1);
+  EXPECT_NEAR(sampler.insertion_probability(0), 0.2 / 0.5, 1e-12);
+  EXPECT_NEAR(sampler.insertion_probability(1), 0.2 / 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(sampler.insertion_probability(2), 1.0);
+  EXPECT_THROW(sampler.insertion_probability(3), std::out_of_range);
+}
+
+TEST(Omniscient, MemoryNeverExceedsCapacityAndHoldsDistinctIds) {
+  const std::size_t n = 50;
+  auto counts = peak_attack_counts(n, 0, 5000, 10);
+  auto p = probabilities_from_counts(counts);
+  OmniscientSampler sampler(8, p, 3);
+  const Stream input = exact_stream(counts, 5);
+  for (NodeId id : input) {
+    sampler.process(id);
+    const auto mem = sampler.memory();
+    EXPECT_LE(mem.size(), 8u);
+    std::set<NodeId> uniq(mem.begin(), mem.end());
+    EXPECT_EQ(uniq.size(), mem.size()) << "duplicate id in Gamma";
+  }
+  EXPECT_EQ(sampler.memory().size(), 8u);
+}
+
+TEST(Omniscient, OutputLengthMatchesInputLength) {
+  const std::vector<double> p(10, 0.1);
+  OmniscientSampler sampler(3, p, 7);
+  WeightedStreamGenerator gen(uniform_weights(10), 9);
+  const Stream input = gen.take(500);
+  const Stream output = sampler.run(input);
+  EXPECT_EQ(output.size(), input.size());
+}
+
+TEST(Omniscient, DeterministicBySeed) {
+  const std::vector<double> p(20, 0.05);
+  WeightedStreamGenerator gen(uniform_weights(20), 11);
+  const Stream input = gen.take(1000);
+  OmniscientSampler s1(5, p, 42), s2(5, p, 42), s3(5, p, 43);
+  EXPECT_EQ(s1.run(input), s2.run(input));
+  EXPECT_NE(s1.run(input), s3.run(input));
+}
+
+// The headline property: under a heavily biased input stream (peak attack),
+// the output stream is statistically uniform.
+TEST(Omniscient, UniformityUnderPeakAttack) {
+  const std::size_t n = 100;
+  const std::size_t c = 10;
+  auto counts = peak_attack_counts(n, 0, 20000, 50);
+  auto p = probabilities_from_counts(counts);
+  OmniscientSampler sampler(c, p, 1234);
+  const Stream input = exact_stream(counts, 99);
+  const Stream output = sampler.run(input);
+
+  // Discard the warm-up prefix (memory fill + mixing) and test the tail.
+  const std::size_t burn = output.size() / 4;
+  std::vector<std::uint64_t> tail_counts(n, 0);
+  for (std::size_t i = burn; i < output.size(); ++i) ++tail_counts[output[i]];
+  const double stat = chi_square_statistic(tail_counts);
+  // Output positions are correlated (consecutive picks share Gamma), so the
+  // chi-square statistic is over-dispersed relative to i.i.d. samples.
+  // Theorem 4 says the *marginal* is uniform; we allow a generous factor
+  // over the critical value but still far below the biased-input statistic.
+  const double critical = chi_square_critical(n - 1, 0.001);
+  EXPECT_LT(stat, 20.0 * critical);
+  std::vector<std::uint64_t> input_counts(n, 0);
+  for (std::size_t i = burn; i < input.size(); ++i)
+    if (input[i] < n) ++input_counts[input[i]];
+  EXPECT_GT(chi_square_statistic(input_counts), 100.0 * critical);
+}
+
+TEST(Omniscient, KLGainNearOneUnderPeakAttack) {
+  const std::size_t n = 200;
+  auto counts = peak_attack_counts(n, 0, 30000, 30);
+  auto p = probabilities_from_counts(counts);
+  OmniscientSampler sampler(15, p, 5);
+  const Stream input = exact_stream(counts, 17);
+  const Stream output = sampler.run(input);
+  const auto in_dist = empirical_distribution(input, n);
+  const auto out_dist = empirical_distribution(output, n);
+  EXPECT_GT(kl_gain(in_dist, out_dist), 0.9);
+}
+
+// Freshness: every id (even the rarest) keeps appearing in the output.
+TEST(Omniscient, FreshnessEveryIdAppearsInOutput) {
+  const std::size_t n = 30;
+  auto counts = peak_attack_counts(n, 0, 10000, 20);
+  auto p = probabilities_from_counts(counts);
+  OmniscientSampler sampler(5, p, 21);
+  const Stream input = exact_stream(counts, 31);
+  const Stream output = sampler.run(input);
+  std::set<NodeId> seen(output.begin(), output.end());
+  EXPECT_EQ(seen.size(), n) << "some id never reached the output stream";
+}
+
+TEST(Omniscient, FreshnessOutputKeepsChanging) {
+  // The min-wise baseline freezes; Algorithm 1 must not.  Count distinct
+  // ids in the LAST quarter of the output.
+  const std::size_t n = 50;
+  auto counts = peak_attack_counts(n, 0, 20000, 40);
+  auto p = probabilities_from_counts(counts);
+  OmniscientSampler sampler(10, p, 77);
+  const Stream output = sampler.run(exact_stream(counts, 78));
+  std::set<NodeId> late(output.end() - output.size() / 4, output.end());
+  EXPECT_GT(late.size(), n / 2);
+}
+
+TEST(Omniscient, SampleBeforeProcessingThrows) {
+  OmniscientSampler sampler(3, {0.5, 0.5}, 1);
+  EXPECT_THROW(sampler.sample(), std::logic_error);
+}
+
+TEST(Omniscient, ProcessUnknownIdThrows) {
+  OmniscientSampler sampler(3, {0.5, 0.5}, 1);
+  EXPECT_THROW(sampler.process(2), std::out_of_range);
+}
+
+TEST(Omniscient, CapacityLargerThanPopulationStoresEverything) {
+  const std::vector<double> p(5, 0.2);
+  OmniscientSampler sampler(100, p, 1);
+  WeightedStreamGenerator gen(uniform_weights(5), 2);
+  sampler.run(gen.take(200));
+  const auto mem = sampler.memory();
+  EXPECT_EQ(mem.size(), 5u);  // all distinct ids, never evicted
+}
+
+// Parameterized sweep over memory sizes: uniformity gain is high for all c.
+class OmniscientMemorySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OmniscientMemorySweep, GainStaysHigh) {
+  const std::size_t c = GetParam();
+  const std::size_t n = 100;
+  auto counts = peak_attack_counts(n, 0, 10000, 20);
+  auto p = probabilities_from_counts(counts);
+  OmniscientSampler sampler(c, p, c * 7 + 1);
+  const Stream input = exact_stream(counts, c + 100);
+  const Stream output = sampler.run(input);
+  EXPECT_GT(kl_gain(empirical_distribution(input, n),
+                    empirical_distribution(output, n)),
+            0.85)
+      << "c=" << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(MemorySizes, OmniscientMemorySweep,
+                         ::testing::Values(1, 2, 5, 10, 25, 50));
+
+}  // namespace
+}  // namespace unisamp

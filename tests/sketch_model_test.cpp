@@ -1,0 +1,142 @@
+// Golden-model randomized testing: drive the sketches with random
+// operation sequences and check every observable against an exact
+// reference implementation after every operation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "sketch/count_min.hpp"
+#include "sketch/decaying.hpp"
+#include "util/rng.hpp"
+
+namespace unisamp {
+namespace {
+
+// Exact reference: true frequencies.
+class ExactCounter {
+ public:
+  void update(std::uint64_t id, std::uint64_t count) {
+    counts_[id] += count;
+    total_ += count;
+  }
+  std::uint64_t count(std::uint64_t id) const {
+    const auto it = counts_.find(id);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  std::uint64_t total() const { return total_; }
+  const std::map<std::uint64_t, std::uint64_t>& all() const { return counts_; }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+TEST(SketchModel, RandomOpsInvariantsHoldEveryStep) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    CountMinSketch sketch(CountMinParams::from_dimensions(12, 4, seed));
+    ExactCounter exact;
+    Xoshiro256 rng(seed * 1000 + 7);
+    for (int step = 0; step < 3000; ++step) {
+      const std::uint64_t id = rng.next_below(150);
+      const std::uint64_t w = 1 + rng.next_below(5);
+      sketch.update(id, w);
+      exact.update(id, w);
+
+      // Invariant 1: estimates never underestimate.
+      ASSERT_GE(sketch.estimate(id), exact.count(id)) << "step " << step;
+      // Invariant 2: total count exact.
+      ASSERT_EQ(sketch.total_count(), exact.total());
+      // Invariant 3: min counter <= every estimate (spot check 3 ids).
+      for (int probe = 0; probe < 3; ++probe) {
+        const std::uint64_t q = rng.next_below(150);
+        ASSERT_LE(sketch.min_counter(), sketch.estimate(q));
+      }
+      // Invariant 4: aggregate over-estimation bounded by total mass: an
+      // estimate can never exceed true count + total of everything else.
+      ASSERT_LE(sketch.estimate(id), exact.total());
+    }
+  }
+}
+
+TEST(SketchModel, MergeHalveInterleavings) {
+  const auto params = CountMinParams::from_dimensions(8, 3, 77);
+  CountMinSketch a(params), b(params);
+  ExactCounter exact_a, exact_b;
+  Xoshiro256 rng(5);
+  for (int step = 0; step < 500; ++step) {
+    const std::uint64_t id = rng.next_below(60);
+    a.update(id);
+    exact_a.update(id, 1);
+    const std::uint64_t id2 = rng.next_below(60);
+    b.update(id2);
+    exact_b.update(id2, 1);
+    if (step % 97 == 96) {
+      a.halve();
+      // After halving, estimates still upper-bound the halved truth
+      // (integer floor can drop at most total/2 per halving; we assert the
+      // weaker but always-true bound vs floor-halved exact counts).
+      for (const auto& [id3, c] : exact_a.all())
+        ASSERT_GE(a.estimate(id3) * 2 + 1, c / 2)
+            << "halving broke monotone relation";
+    }
+  }
+  // Merge keeps the never-underestimate property w.r.t. the sum of the
+  // two exact references (when no halving happened on b).
+  CountMinSketch c(params);
+  ExactCounter exact_c;
+  Xoshiro256 rng2(6);
+  for (int i = 0; i < 400; ++i) {
+    const std::uint64_t id = rng2.next_below(60);
+    c.update(id);
+    exact_c.update(id, 1);
+  }
+  b.merge(c);
+  for (const auto& [id, cnt] : exact_c.all())
+    ASSERT_GE(b.estimate(id), cnt);
+}
+
+TEST(SketchModel, DecayingSketchWindowBound) {
+  // Model property: after many half-lives the contribution of any prefix
+  // is negligible — the estimate of an id last seen k half-lives ago is at
+  // most its old estimate / 2^k + noise from new traffic.
+  DecayingCountMinSketch dec(CountMinParams::from_dimensions(32, 4, 9), 500);
+  for (int i = 0; i < 2000; ++i) dec.update(42);
+  const std::uint64_t before = dec.estimate(42);
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 4000; ++i) dec.update(100000 + rng.next_below(1000));
+  // 8 half-lives elapsed: 2000/2^8 < 8.
+  EXPECT_LT(dec.estimate(42), before / 16);
+}
+
+TEST(SketchModel, EstimateMonotoneInUpdates) {
+  // Adding occurrences of id never DECREASES its estimate (no decay).
+  CountMinSketch sketch(CountMinParams::from_dimensions(16, 4, 13));
+  Xoshiro256 rng(17);
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    sketch.update(rng.next_below(50));  // background noise
+    sketch.update(7);
+    const std::uint64_t cur = sketch.estimate(7);
+    ASSERT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(SketchModel, DisjointDomainsDoNotInterfereWhenWide) {
+  // With width >> distinct ids, two id populations rarely share counters:
+  // estimates of population A are unchanged by hammering population B.
+  CountMinSketch sketch(CountMinParams::from_dimensions(4096, 6, 19));
+  for (std::uint64_t id = 0; id < 20; ++id) sketch.update(id, 10);
+  std::vector<std::uint64_t> before;
+  for (std::uint64_t id = 0; id < 20; ++id)
+    before.push_back(sketch.estimate(id));
+  for (int i = 0; i < 20000; ++i) sketch.update(1'000'000 + i % 37);
+  int changed = 0;
+  for (std::uint64_t id = 0; id < 20; ++id)
+    if (sketch.estimate(id) != before[id]) ++changed;
+  EXPECT_LE(changed, 2);
+}
+
+}  // namespace
+}  // namespace unisamp

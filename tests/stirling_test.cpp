@@ -1,0 +1,97 @@
+#include "analysis/stirling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace unisamp {
+namespace {
+
+TEST(Stirling, KnownTableValues) {
+  // Classic S(l, i) table.
+  EXPECT_EQ(stirling2(0, 0), 1u);
+  EXPECT_EQ(stirling2(1, 1), 1u);
+  EXPECT_EQ(stirling2(2, 1), 1u);
+  EXPECT_EQ(stirling2(2, 2), 1u);
+  EXPECT_EQ(stirling2(3, 2), 3u);
+  EXPECT_EQ(stirling2(4, 2), 7u);
+  EXPECT_EQ(stirling2(4, 3), 6u);
+  EXPECT_EQ(stirling2(5, 2), 15u);
+  EXPECT_EQ(stirling2(5, 3), 25u);
+  EXPECT_EQ(stirling2(6, 3), 90u);
+  EXPECT_EQ(stirling2(7, 4), 350u);
+  EXPECT_EQ(stirling2(10, 5), 42525u);
+}
+
+TEST(Stirling, ZeroCases) {
+  EXPECT_EQ(stirling2(3, 0), 0u);
+  EXPECT_EQ(stirling2(0, 3), 0u);
+  EXPECT_EQ(stirling2(2, 5), 0u);
+}
+
+TEST(Stirling, RowSumsEqualBellNumbers) {
+  // Bell numbers B_l = sum_i S(l, i).
+  const std::uint64_t bell[] = {1, 1, 2, 5, 15, 52, 203, 877, 4140, 21147};
+  for (unsigned l = 1; l <= 9; ++l) {
+    std::uint64_t sum = 0;
+    for (unsigned i = 1; i <= l; ++i) sum += stirling2(l, i);
+    EXPECT_EQ(sum, bell[l]) << "l=" << l;
+  }
+}
+
+TEST(Stirling, RecursionMatchesDefinition) {
+  // S(l, i) = S(l-1, i-1) + i * S(l-1, i) for 1 < i < l.
+  for (unsigned l = 3; l <= 15; ++l)
+    for (unsigned i = 2; i < l; ++i)
+      EXPECT_EQ(stirling2(l, i),
+                stirling2(l - 1, i - 1) + i * stirling2(l - 1, i));
+}
+
+TEST(Stirling, ExplicitFormulaAgreesWithRecursion) {
+  for (unsigned l = 1; l <= 18; ++l) {
+    for (unsigned i = 1; i <= l; ++i) {
+      const long double explicit_value = stirling2_explicit(l, i);
+      const long double exact = static_cast<long double>(stirling2(l, i));
+      EXPECT_NEAR(static_cast<double>(explicit_value),
+                  static_cast<double>(exact),
+                  static_cast<double>(exact) * 1e-9 + 1e-6)
+          << "l=" << l << " i=" << i;
+    }
+  }
+}
+
+TEST(Stirling, LogSpaceAgreesWithExact) {
+  for (unsigned l = 1; l <= 20; ++l) {
+    for (unsigned i = 1; i <= l; ++i) {
+      const double expected = std::log(static_cast<double>(stirling2(l, i)));
+      EXPECT_NEAR(log_stirling2(l, i), expected, 1e-9 * (1.0 + expected))
+          << "l=" << l << " i=" << i;
+    }
+  }
+}
+
+TEST(Stirling, LogSpaceHandlesHugeInputsWithoutOverflow) {
+  // S(500, 250) overflows every integer type; the log value must be finite
+  // and sane (between S(500,250) >= C(499,249)-ish growth bounds).
+  const double lv = log_stirling2(500, 250);
+  EXPECT_TRUE(std::isfinite(lv));
+  EXPECT_GT(lv, 100.0);
+  // Upper bound: S(l,i) <= i^l / i! => log <= l log i - log i!.
+  const double upper = 500 * std::log(250.0) - std::lgamma(251.0);
+  EXPECT_LE(lv, upper + 1e-6);
+}
+
+TEST(Stirling, ExactOverflowThrows) {
+  EXPECT_THROW(stirling2(60, 30), std::overflow_error);
+}
+
+TEST(Stirling, RowFunctionMatchesScalar) {
+  const unsigned l = 12;
+  const auto row = log_stirling2_row(l);
+  ASSERT_EQ(row.size(), l);
+  for (unsigned i = 1; i <= l; ++i)
+    EXPECT_DOUBLE_EQ(row[i - 1], log_stirling2(l, i));
+}
+
+}  // namespace
+}  // namespace unisamp

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "stream/discrete_sampler.hpp"
+#include "stream/generators.hpp"
+#include "stream/histogram.hpp"
+#include "util/stats.hpp"
+
+namespace unisamp {
+namespace {
+
+TEST(DiscreteSampler, RespectsWeights) {
+  const std::vector<double> w = {1.0, 3.0};
+  DiscreteSampler s(w);
+  EXPECT_NEAR(s.probability(0), 0.25, 1e-12);
+  EXPECT_NEAR(s.probability(1), 0.75, 1e-12);
+  Xoshiro256 rng(1);
+  int ones = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i)
+    if (s.sample(rng) == 1) ++ones;
+  EXPECT_NEAR(static_cast<double>(ones) / kDraws, 0.75, 0.01);
+}
+
+TEST(DiscreteSampler, UniformWeightsPassChiSquare) {
+  const std::vector<double> w(20, 1.0);
+  DiscreteSampler s(w);
+  Xoshiro256 rng(5);
+  std::vector<std::uint64_t> counts(20, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[s.sample(rng)];
+  EXPECT_LT(chi_square_statistic(counts), chi_square_critical(19, 0.001));
+}
+
+TEST(DiscreteSampler, HandlesZeroWeightEntries) {
+  const std::vector<double> w = {0.0, 1.0, 0.0, 1.0};
+  DiscreteSampler s(w);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const std::size_t x = s.sample(rng);
+    EXPECT_TRUE(x == 1 || x == 3);
+  }
+}
+
+TEST(DiscreteSampler, RejectsBadWeights) {
+  EXPECT_THROW(DiscreteSampler(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(DiscreteSampler(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(DiscreteSampler(std::vector<double>{1.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(ZipfWeights, MonotoneDecreasingAndShape) {
+  const auto w = zipf_weights(100, 2.0);
+  for (std::size_t i = 1; i < w.size(); ++i) EXPECT_LT(w[i], w[i - 1]);
+  // w_1 / w_2 = 2^alpha.
+  EXPECT_NEAR(w[0] / w[1], 4.0, 1e-9);
+}
+
+TEST(ZipfWeights, AlphaZeroIsUniform) {
+  const auto w = zipf_weights(10, 0.0);
+  for (double x : w) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(TruncatedPoissonWeights, PeaksNearLambda) {
+  const std::size_t n = 1000;
+  const double lambda = 500;
+  const auto w = truncated_poisson_weights(n, lambda);
+  const std::size_t argmax = static_cast<std::size_t>(
+      std::distance(w.begin(), std::max_element(w.begin(), w.end())));
+  EXPECT_NEAR(static_cast<double>(argmax), lambda, 1.5);
+  // Mass far from lambda is negligible: the over-represented band is narrow
+  // (~sqrt(lambda)), reproducing the "50 ids over represented" of Fig. 7b.
+  EXPECT_LT(w[300] / w[argmax], 1e-12);
+  EXPECT_LT(w[700] / w[argmax], 1e-12);
+}
+
+TEST(TruncatedPoissonWeights, RejectsBadParams) {
+  EXPECT_THROW(truncated_poisson_weights(0, 5.0), std::invalid_argument);
+  EXPECT_THROW(truncated_poisson_weights(10, 0.0), std::invalid_argument);
+}
+
+TEST(PeakWeights, ShapesCorrectly) {
+  const auto w = peak_weights(5, 2, 100.0, 1.0);
+  EXPECT_DOUBLE_EQ(w[2], 100.0);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_THROW(peak_weights(5, 7, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(WeightedStreamGenerator, DeterministicBySeed) {
+  const auto w = zipf_weights(50, 1.0);
+  WeightedStreamGenerator g1(w, 42), g2(w, 42), g3(w, 43);
+  const auto s1 = g1.take(100);
+  const auto s2 = g2.take(100);
+  const auto s3 = g3.take(100);
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1, s3);
+}
+
+TEST(WeightedStreamGenerator, ExposesProbabilities) {
+  const std::vector<double> w = {3.0, 1.0};
+  WeightedStreamGenerator g(w, 1);
+  EXPECT_NEAR(g.probability(0), 0.75, 1e-12);
+  EXPECT_EQ(g.domain(), 2u);
+}
+
+TEST(ExactStream, MultiplicitiesAreExact) {
+  const std::vector<std::uint64_t> counts = {3, 0, 5, 1};
+  const Stream s = exact_stream(counts, 9);
+  EXPECT_EQ(s.size(), 9u);
+  FrequencyHistogram h;
+  h.add_stream(s);
+  EXPECT_EQ(h.count(0), 3u);
+  EXPECT_EQ(h.count(1), 0u);
+  EXPECT_EQ(h.count(2), 5u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(ExactStream, ShuffleDependsOnSeed) {
+  const std::vector<std::uint64_t> counts(50, 2);
+  const Stream a = exact_stream(counts, 1);
+  const Stream b = exact_stream(counts, 2);
+  EXPECT_NE(a, b);
+  // Same seed reproduces.
+  EXPECT_EQ(a, exact_stream(counts, 1));
+}
+
+TEST(ExactStream, ShuffleIsNotSorted) {
+  std::vector<std::uint64_t> counts(100, 10);
+  const Stream s = exact_stream(counts, 3);
+  EXPECT_FALSE(std::is_sorted(s.begin(), s.end()));
+}
+
+TEST(PeakAttackCounts, MatchesPaperScenario) {
+  // "injects 50,000 times a single node identifier while all the other
+  // identifiers occur 50 times" (Sec. VI-B).
+  const auto counts = peak_attack_counts(1000, 0, 50000, 50);
+  EXPECT_EQ(counts[0], 50000u);
+  for (std::size_t i = 1; i < 1000; ++i) EXPECT_EQ(counts[i], 50u);
+  const std::uint64_t total =
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  EXPECT_EQ(total, 50000u + 999u * 50u);
+}
+
+TEST(CountsFromWeights, SumCloseToMAndMinRespected) {
+  const auto w = zipf_weights(100, 1.5);
+  const auto counts = counts_from_weights(w, 10000, 2);
+  const std::uint64_t total =
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  EXPECT_EQ(total, 10000u);
+  for (auto c : counts) EXPECT_GE(c, 2u);
+}
+
+TEST(CountsFromWeights, HeaviestAbsorbsRounding) {
+  const std::vector<double> w = {1.0, 1.0, 1.0};
+  const auto counts = counts_from_weights(w, 10, 1);
+  const std::uint64_t total =
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(Histogram, BasicAccounting) {
+  FrequencyHistogram h;
+  h.add(5);
+  h.add(5);
+  h.add(9, 3);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.distinct(), 2u);
+  EXPECT_EQ(h.count(5), 2u);
+  EXPECT_EQ(h.count(9), 3u);
+  EXPECT_EQ(h.count(1), 0u);
+  EXPECT_EQ(h.max_frequency(), 3u);
+  EXPECT_EQ(h.most_frequent_id(), 9u);
+}
+
+TEST(Histogram, SortedFrequenciesDescending) {
+  FrequencyHistogram h;
+  h.add(1, 5);
+  h.add(2, 9);
+  h.add(3, 1);
+  const auto f = h.sorted_frequencies();
+  EXPECT_EQ(f, (std::vector<std::uint64_t>{9, 5, 1}));
+}
+
+TEST(Histogram, DistributionNormalised) {
+  FrequencyHistogram h;
+  h.add(0, 1);
+  h.add(1, 3);
+  const auto d = h.distribution(2);
+  EXPECT_NEAR(d[0], 0.25, 1e-12);
+  EXPECT_NEAR(d[1], 0.75, 1e-12);
+}
+
+TEST(ComputeStats, MatchesTableIIShape) {
+  const std::vector<std::uint64_t> counts = {10, 5, 1};
+  const Stream s = exact_stream(counts, 4);
+  const TraceStats stats = compute_stats(s);
+  EXPECT_EQ(stats.stream_size, 16u);
+  EXPECT_EQ(stats.distinct_ids, 3u);
+  EXPECT_EQ(stats.max_frequency, 10u);
+}
+
+}  // namespace
+}  // namespace unisamp

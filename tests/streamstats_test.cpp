@@ -1,0 +1,210 @@
+// Tests of the streaming-statistics substrates (Sec. II related-work
+// toolbox): HyperLogLog, SpaceSaving, streaming entropy.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "stream/generators.hpp"
+#include "streamstats/distinct.hpp"
+#include "streamstats/entropy.hpp"
+#include "streamstats/heavy_hitters.hpp"
+
+namespace unisamp {
+namespace {
+
+// --- HyperLogLog ------------------------------------------------------------
+
+TEST(Hll, RejectsBadPrecision) {
+  EXPECT_THROW(HyperLogLog(3, 1), std::invalid_argument);
+  EXPECT_THROW(HyperLogLog(19, 1), std::invalid_argument);
+}
+
+TEST(Hll, EmptyEstimatesZero) {
+  HyperLogLog hll(12, 1);
+  EXPECT_NEAR(hll.estimate(), 0.0, 1e-9);
+}
+
+TEST(Hll, SmallCardinalitiesViaLinearCounting) {
+  HyperLogLog hll(12, 2);
+  for (std::uint64_t i = 0; i < 100; ++i) hll.add(i * 7919);
+  EXPECT_NEAR(hll.estimate(), 100.0, 5.0);
+}
+
+TEST(Hll, DuplicatesDoNotInflate) {
+  HyperLogLog hll(12, 3);
+  for (int rep = 0; rep < 1000; ++rep)
+    for (std::uint64_t i = 0; i < 50; ++i) hll.add(i);
+  EXPECT_NEAR(hll.estimate(), 50.0, 5.0);
+}
+
+class HllCardinalitySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HllCardinalitySweep, WithinThreeStandardErrors) {
+  const std::uint64_t n = GetParam();
+  HyperLogLog hll(12, 4);
+  for (std::uint64_t i = 0; i < n; ++i) hll.add(i);
+  const double rel_err =
+      std::fabs(hll.estimate() - static_cast<double>(n)) /
+      static_cast<double>(n);
+  EXPECT_LT(rel_err, 3.0 * hll.standard_error()) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, HllCardinalitySweep,
+                         ::testing::Values(1000, 10000, 100000, 1000000));
+
+TEST(Hll, MergeEqualsUnion) {
+  HyperLogLog a(10, 5), b(10, 5);
+  for (std::uint64_t i = 0; i < 5000; ++i) a.add(i);
+  for (std::uint64_t i = 2500; i < 7500; ++i) b.add(i);
+  a.merge(b);
+  EXPECT_NEAR(a.estimate(), 7500.0, 7500.0 * 3.0 * a.standard_error());
+}
+
+TEST(Hll, MergeRejectsIncompatible) {
+  HyperLogLog a(10, 5), b(11, 5), c(10, 6);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+// --- SpaceSaving ------------------------------------------------------------
+
+TEST(SpaceSaving, RejectsZeroCapacity) {
+  EXPECT_THROW(SpaceSaving(0), std::invalid_argument);
+}
+
+TEST(SpaceSaving, ExactWhenUnderCapacity) {
+  SpaceSaving ss(10);
+  ss.add(1, 5);
+  ss.add(2, 3);
+  ss.add(1, 2);
+  EXPECT_EQ(ss.estimate(1), 7u);
+  EXPECT_EQ(ss.estimate(2), 3u);
+  EXPECT_EQ(ss.estimate(99), 0u);
+  EXPECT_EQ(ss.stream_length(), 10u);
+}
+
+TEST(SpaceSaving, NeverUnderestimatesTrackedIds) {
+  SpaceSaving ss(20);
+  std::map<std::uint64_t, std::uint64_t> truth;
+  WeightedStreamGenerator gen(zipf_weights(200, 1.3), 7);
+  for (int i = 0; i < 50000; ++i) {
+    const auto id = gen.next();
+    ss.add(id);
+    ++truth[id];
+  }
+  for (const auto& e : ss.entries()) {
+    EXPECT_GE(e.count, truth[e.id]) << "id " << e.id;
+    EXPECT_GE(truth[e.id] + e.error, e.count) << "id " << e.id;
+  }
+}
+
+TEST(SpaceSaving, FindsAllTrueHeavyHitters) {
+  // Guarantee: every id with frequency > N/capacity is tracked.
+  SpaceSaving ss(10);
+  // id 1: 40% of stream, id 2: 20%, rest spread thin.
+  for (int i = 0; i < 10000; ++i) {
+    if (i % 10 < 4) ss.add(1);
+    else if (i % 10 < 6) ss.add(2);
+    else ss.add(1000 + (i * 31) % 500);
+  }
+  std::set<std::uint64_t> tracked;
+  for (const auto& e : ss.entries()) tracked.insert(e.id);
+  EXPECT_TRUE(tracked.contains(1));
+  EXPECT_TRUE(tracked.contains(2));
+  const auto hh = ss.heavy_hitters(0.15);
+  ASSERT_GE(hh.size(), 2u);
+  EXPECT_EQ(hh[0].id, 1u);
+  EXPECT_EQ(hh[1].id, 2u);
+}
+
+TEST(SpaceSaving, EntriesSortedDescending) {
+  SpaceSaving ss(5);
+  for (std::uint64_t id = 0; id < 5; ++id) ss.add(id, 10 * (id + 1));
+  const auto entries = ss.entries();
+  for (std::size_t i = 1; i < entries.size(); ++i)
+    EXPECT_GE(entries[i - 1].count, entries[i].count);
+}
+
+TEST(SpaceSaving, EvictionInheritsError) {
+  SpaceSaving ss(2);
+  ss.add(1, 100);
+  ss.add(2, 50);
+  ss.add(3);  // evicts id 2 (min), inherits count 50 as error
+  const auto entries = ss.entries();
+  bool found = false;
+  for (const auto& e : entries) {
+    if (e.id == 3) {
+      EXPECT_EQ(e.count, 51u);
+      EXPECT_EQ(e.error, 50u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SpaceSaving, UntrackedEstimateBoundedByMin) {
+  SpaceSaving ss(2);
+  ss.add(1, 100);
+  ss.add(2, 50);
+  EXPECT_EQ(ss.estimate(999), 50u);
+}
+
+// --- StreamingEntropy --------------------------------------------------------
+
+TEST(StreamingEntropy, UniformStreamNearMaxEntropy) {
+  StreamingEntropy se(32, 12, 1);
+  for (int rep = 0; rep < 100; ++rep)
+    for (std::uint64_t id = 0; id < 500; ++id) se.add(id);
+  EXPECT_NEAR(se.estimate(), std::log(500.0), 0.15);
+  EXPECT_GT(se.normalized_estimate(), 0.9);
+}
+
+TEST(StreamingEntropy, PeakedStreamLowEntropy) {
+  StreamingEntropy se(32, 12, 2);
+  for (int i = 0; i < 50000; ++i) se.add(7);
+  for (std::uint64_t id = 0; id < 100; ++id) se.add(1000 + id);
+  // True entropy ~ 0.02; the estimator must report well below uniform.
+  EXPECT_LT(se.estimate(), 0.5);
+  EXPECT_LT(se.normalized_estimate(), 0.2);
+}
+
+TEST(StreamingEntropy, TracksKnownTwoLevelDistribution) {
+  // Half the mass on one id, half uniform over 999 others:
+  // H = 0.5 ln 2 + 0.5 ln(2*999) = ln 2 + 0.5 ln 999.
+  StreamingEntropy se(16, 12, 3);
+  const std::size_t n = 1000;
+  for (int i = 0; i < 50000; ++i) se.add(0);
+  for (int rep = 0; rep < 50; ++rep)
+    for (std::uint64_t id = 1; id < n; ++id) se.add(id);
+  const double expected = std::log(2.0) + 0.5 * std::log(999.0);
+  EXPECT_NEAR(se.estimate(), expected, 0.25);
+}
+
+TEST(StreamingEntropy, EmptyStreamZero) {
+  StreamingEntropy se(8, 8, 4);
+  EXPECT_DOUBLE_EQ(se.estimate(), 0.0);
+}
+
+TEST(StreamingEntropy, UpperBoundsPluginEntropyOnSkewedStreams) {
+  // The uniform-tail model can only ADD entropy relative to the truth.
+  WeightedStreamGenerator gen(zipf_weights(2000, 1.1), 9);
+  StreamingEntropy se(64, 12, 5);
+  std::map<std::uint64_t, double> counts;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const auto id = gen.next();
+    se.add(id);
+    counts[id] += 1.0;
+  }
+  double plugin = 0.0;
+  for (const auto& [id, c] : counts) {
+    const double p = c / kN;
+    plugin -= p * std::log(p);
+  }
+  EXPECT_GE(se.estimate(), plugin - 0.05);
+}
+
+}  // namespace
+}  // namespace unisamp

@@ -1,0 +1,124 @@
+// Parameterized sweeps across overlay families and sizes: structural
+// invariants plus gossip dissemination on every family the simulator
+// offers (the substrate behind the paper's "weak connectivity" model).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/gossip.hpp"
+#include "sim/random_walk.hpp"
+#include "sim/topology.hpp"
+
+namespace unisamp {
+namespace {
+
+enum class Family { kComplete, kRing2, kErdosRenyi, kRandomRegular, kSmallWorld };
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::kComplete: return "complete";
+    case Family::kRing2: return "ring2";
+    case Family::kErdosRenyi: return "erdos-renyi";
+    case Family::kRandomRegular: return "random-regular";
+    case Family::kSmallWorld: return "small-world";
+  }
+  return "?";
+}
+
+Topology build(Family f, std::size_t n, std::uint64_t seed) {
+  switch (f) {
+    case Family::kComplete: return Topology::complete(n);
+    case Family::kRing2: return Topology::ring(n, 2);
+    case Family::kErdosRenyi:
+      // p chosen comfortably above the ln(n)/n connectivity threshold.
+      return Topology::erdos_renyi(
+          n, 3.0 * std::log(static_cast<double>(n)) / static_cast<double>(n),
+          seed);
+    case Family::kRandomRegular: return Topology::random_regular(n, 4, seed);
+    case Family::kSmallWorld: return Topology::small_world(n, 2, 0.1, seed);
+  }
+  return Topology::complete(n);
+}
+
+struct SweepParam {
+  Family family;
+  std::size_t n;
+};
+
+class TopologySweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(TopologySweep, StructuralInvariants) {
+  const auto param = GetParam();
+  const auto t = build(param.family, param.n, 7);
+  EXPECT_EQ(t.size(), param.n);
+  // Adjacency symmetry and no self loops.
+  std::size_t directed_edges = 0;
+  for (std::size_t a = 0; a < t.size(); ++a) {
+    for (std::uint32_t b : t.neighbors(a)) {
+      EXPECT_NE(b, a) << family_name(param.family);
+      EXPECT_TRUE(t.has_edge(b, a));
+      ++directed_edges;
+    }
+  }
+  EXPECT_EQ(directed_edges, 2 * t.edge_count());
+}
+
+TEST_P(TopologySweep, ConnectedAtTheseParameters) {
+  const auto param = GetParam();
+  const auto t = build(param.family, param.n, 11);
+  EXPECT_TRUE(t.is_connected()) << family_name(param.family);
+}
+
+TEST_P(TopologySweep, GossipReachesEveryNode) {
+  const auto param = GetParam();
+  GossipConfig gcfg;
+  gcfg.fanout = 3;
+  gcfg.seed = 3;
+  ServiceConfig scfg;
+  scfg.strategy = Strategy::kKnowledgeFree;
+  scfg.memory_size = 8;
+  scfg.sketch_width = 5;
+  scfg.sketch_depth = 3;
+  scfg.record_output = false;
+  GossipNetwork net(build(param.family, param.n, 13), gcfg, scfg);
+  net.run_rounds(30);
+  for (std::size_t i = 0; i < param.n; ++i)
+    EXPECT_GT(net.service(i).processed(), 0u)
+        << family_name(param.family) << " node " << i;
+}
+
+TEST_P(TopologySweep, RandomWalksVisitMostNodes) {
+  const auto param = GetParam();
+  const auto t = build(param.family, param.n, 17);
+  RandomWalkConfig wcfg;
+  wcfg.walks_per_node = 4;
+  wcfg.walk_length = 2 * param.n;
+  wcfg.seed = 19;
+  const auto streams = random_walk_streams(t, wcfg);
+  std::size_t visited = 0;
+  for (const auto& s : streams)
+    if (!s.empty()) ++visited;
+  EXPECT_GT(visited, param.n * 9 / 10) << family_name(param.family);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, TopologySweep,
+    ::testing::Values(SweepParam{Family::kComplete, 20},
+                      SweepParam{Family::kComplete, 60},
+                      SweepParam{Family::kRing2, 20},
+                      SweepParam{Family::kRing2, 100},
+                      SweepParam{Family::kErdosRenyi, 60},
+                      SweepParam{Family::kErdosRenyi, 150},
+                      SweepParam{Family::kRandomRegular, 40},
+                      SweepParam{Family::kRandomRegular, 120},
+                      SweepParam{Family::kSmallWorld, 50},
+                      SweepParam{Family::kSmallWorld, 150}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      std::string name = family_name(info.param.family);
+      for (char& ch : name)
+        if (ch == '-') ch = '_';  // gtest names must be identifiers
+      return name + "_" + std::to_string(info.param.n);
+    });
+
+}  // namespace
+}  // namespace unisamp

@@ -1,0 +1,108 @@
+#include "stream/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "stream/generators.hpp"
+#include "stream/webtrace.hpp"
+
+namespace unisamp {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  std::string path(const std::string& name) {
+    return "/tmp/unisamp_traceio_" + name;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    for (const auto& p : created_) std::filesystem::remove(p, ec);
+  }
+  std::string track(const std::string& p) {
+    created_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> created_;
+};
+
+TEST_F(TraceIoTest, TextRoundTrip) {
+  const Stream original = {5, 1, 1, 99, 0, 18446744073709551615ull};
+  const auto p = track(path("t1.txt"));
+  save_stream_text(original, p);
+  EXPECT_EQ(load_stream_text(p), original);
+}
+
+TEST_F(TraceIoTest, TextSkipsCommentsAndBlanks) {
+  const auto p = track(path("t2.txt"));
+  std::ofstream out(p);
+  out << "# header\n\n1\n2\n# mid comment\n3\n";
+  out.close();
+  EXPECT_EQ(load_stream_text(p), (Stream{1, 2, 3}));
+}
+
+TEST_F(TraceIoTest, TextRejectsGarbage) {
+  const auto p = track(path("t3.txt"));
+  std::ofstream out(p);
+  out << "12abc\n";
+  out.close();
+  EXPECT_THROW(load_stream_text(p), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_stream_text("/tmp/unisamp_nonexistent_xyz"),
+               std::runtime_error);
+  EXPECT_THROW(load_stream_binary("/tmp/unisamp_nonexistent_xyz"),
+               std::runtime_error);
+}
+
+TEST_F(TraceIoTest, BinaryRoundTripShuffled) {
+  const std::vector<std::uint64_t> counts = {100, 3, 0, 57, 1};
+  const Stream original = exact_stream(counts, 5);
+  const auto p = track(path("b1.bin"));
+  save_stream_binary(original, p);
+  EXPECT_EQ(load_stream_binary(p), original);
+}
+
+TEST_F(TraceIoTest, BinaryRoundTripEmpty) {
+  const auto p = track(path("b2.bin"));
+  save_stream_binary({}, p);
+  EXPECT_TRUE(load_stream_binary(p).empty());
+}
+
+TEST_F(TraceIoTest, BinaryCompressesRuns) {
+  // A sorted stream of one id is a single run: file stays tiny.
+  const Stream runs(100000, 42);
+  const auto p = track(path("b3.bin"));
+  save_stream_binary(runs, p);
+  EXPECT_LT(std::filesystem::file_size(p), 100u);
+  EXPECT_EQ(load_stream_binary(p), runs);
+}
+
+TEST_F(TraceIoTest, BinaryRejectsWrongMagic) {
+  const auto p = track(path("b4.bin"));
+  std::ofstream out(p, std::ios::binary);
+  out << "NOTATRACE-------";
+  out.close();
+  EXPECT_THROW(load_stream_binary(p), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, BinaryRejectsTruncation) {
+  const auto p = track(path("b5.bin"));
+  save_stream_binary({1, 2, 3}, p);
+  // Truncate the file mid-pair.
+  std::filesystem::resize_file(p, std::filesystem::file_size(p) - 4);
+  EXPECT_THROW(load_stream_binary(p), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, CalibratedTraceRoundTrip) {
+  const auto spec = scaled_spec(clarknet_trace_spec(), 500);
+  const Stream trace = generate_webtrace(spec, 9);
+  const auto p = track(path("b6.bin"));
+  save_stream_binary(trace, p);
+  EXPECT_EQ(load_stream_binary(p), trace);
+}
+
+}  // namespace
+}  // namespace unisamp

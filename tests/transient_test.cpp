@@ -1,0 +1,145 @@
+// Tests of the transient-behaviour machinery (paper Sec. VII future work):
+// TV-to-stationarity curves, mixing times, and the lumped inclusion chain.
+#include "analysis/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace unisamp {
+namespace {
+
+std::vector<double> normalized(std::vector<double> w) {
+  const double s = std::accumulate(w.begin(), w.end(), 0.0);
+  for (double& x : w) x /= s;
+  return w;
+}
+
+SamplerChain make_chain(unsigned n, unsigned c, double decay = 0.6) {
+  std::vector<double> p(n);
+  double v = 1.0;
+  for (unsigned i = 0; i < n; ++i) {
+    p[i] = v;
+    v *= decay;
+  }
+  return SamplerChain(omniscient_parameters(c, normalized(std::move(p))));
+}
+
+TEST(TvDistance, BasicProperties) {
+  EXPECT_DOUBLE_EQ(tv_distance({0.5, 0.5}, {0.5, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(tv_distance({1.0, 0.0}, {0.0, 1.0}), 1.0);
+  EXPECT_NEAR(tv_distance({0.6, 0.4}, {0.5, 0.5}), 0.1, 1e-12);
+  EXPECT_THROW(tv_distance({1.0}, {0.5, 0.5}), std::invalid_argument);
+}
+
+TEST(Transient, StepPreservesProbability) {
+  const auto chain = make_chain(6, 2);
+  TransientAnalysis ta(chain);
+  std::vector<double> mu(chain.state_count(), 0.0);
+  mu[0] = 1.0;
+  for (int t = 0; t < 20; ++t) {
+    mu = ta.step(mu);
+    const double sum = std::accumulate(mu.begin(), mu.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Transient, TvCurveIsDecreasingToZero) {
+  const auto chain = make_chain(6, 2);
+  TransientAnalysis ta(chain);
+  const auto curve = ta.tv_curve(0, 2000);
+  // Monotone non-increasing (true for reversible chains from any start in
+  // TV to stationarity) and converging to ~0.
+  for (std::size_t t = 1; t < curve.size(); ++t)
+    EXPECT_LE(curve[t], curve[t - 1] + 1e-12) << "t=" << t;
+  EXPECT_GT(curve[0], 0.9);  // point mass far from uniform over 15 states
+  EXPECT_LT(curve.back(), 1e-6);
+}
+
+TEST(Transient, DistributionConvergesToStationary) {
+  const auto chain = make_chain(7, 3);
+  TransientAnalysis ta(chain);
+  const auto mu = ta.distribution_after(2, 5000);
+  const auto& pi = ta.stationary();
+  for (std::size_t i = 0; i < pi.size(); ++i)
+    EXPECT_NEAR(mu[i], pi[i], 1e-6);
+}
+
+TEST(Transient, MixingTimeDecreasesWithEps) {
+  const auto chain = make_chain(6, 2);
+  TransientAnalysis ta(chain);
+  const auto t_01 = ta.mixing_time(0.1);
+  const auto t_001 = ta.mixing_time(0.01);
+  EXPECT_GT(t_01, 0u);
+  EXPECT_GE(t_001, t_01);
+}
+
+TEST(Transient, RarerIdsSlowTheChain) {
+  // Stronger bias (smaller p_min) => smaller insertion probabilities =>
+  // slower mixing.  decay 0.4 makes the rarest id much rarer than decay 0.8.
+  const auto mild = make_chain(6, 2, 0.8);
+  const auto harsh = make_chain(6, 2, 0.4);
+  const auto t_mild = TransientAnalysis(mild).mixing_time(0.05);
+  const auto t_harsh = TransientAnalysis(harsh).mixing_time(0.05);
+  EXPECT_LT(t_mild, t_harsh);
+}
+
+TEST(Lumped, RatesReproduceTheorem4Inclusion) {
+  // For every id, the lumped chain's stationary inclusion probability must
+  // equal gamma_l = c/n (Theorem 4) under omniscient parameters.
+  const auto chain = make_chain(6, 2);
+  for (unsigned id = 0; id < 6; ++id) {
+    const auto lumped = lump_inclusion_chain(chain, id);
+    EXPECT_GT(lumped.rate_in, 0.0);
+    EXPECT_GT(lumped.rate_out, 0.0);
+    EXPECT_NEAR(lumped.stationary_inclusion(), 2.0 / 6.0, 1e-9)
+        << "id=" << id;
+  }
+}
+
+TEST(Lumped, OmniscientChoiceIsWeaklyLumpable) {
+  // Under the omniscient parameters the exit rate from the "in" lump is
+  // identical across member states (weak lumpability) — the structure the
+  // paper's future-work programme relies on.
+  const auto chain = make_chain(7, 3);
+  for (unsigned id = 0; id < 7; ++id) {
+    const auto lumped = lump_inclusion_chain(chain, id);
+    EXPECT_LT(lumped.max_rate_spread_in, 1e-12) << "id=" << id;
+    EXPECT_LT(lumped.max_rate_spread_out, 1e-12) << "id=" << id;
+  }
+}
+
+TEST(Lumped, GenericParametersAreNotLumpable) {
+  // With arbitrary (a, r) the exit rate differs between states of the same
+  // lump: the in/out partition is NOT lumpable in general, motivating the
+  // weak-lumpability machinery the paper cites.
+  SamplerChainParams params;
+  params.n = 6;
+  params.c = 2;
+  params.p = normalized({0.3, 0.25, 0.2, 0.12, 0.08, 0.05});
+  params.a = {0.9, 0.5, 0.8, 1.0, 0.7, 0.6};
+  params.r = {0.5, 1.5, 1.0, 2.0, 0.25, 0.75};
+  SamplerChain chain(params);
+  // Entry rates are constant by construction (every out-state admits the
+  // id with probability p_id * a_id), so non-lumpability shows up in the
+  // EXIT rates: they depend on the memory content through sum(r) and the
+  // admission mass of absent ids.
+  double worst_spread = 0.0;
+  for (unsigned id = 0; id < 6; ++id) {
+    const auto lumped = lump_inclusion_chain(chain, id);
+    EXPECT_LT(lumped.max_rate_spread_out, 1e-12);
+    worst_spread = std::max(worst_spread, lumped.max_rate_spread_in);
+  }
+  EXPECT_GT(worst_spread, 1e-6);
+}
+
+TEST(Transient, MixingTimeBoundedForSmallChains) {
+  const auto chain = make_chain(6, 3);
+  TransientAnalysis ta(chain);
+  const auto t = ta.mixing_time(0.25, 20000);
+  EXPECT_LT(t, 20000u) << "chain failed to mix within horizon";
+}
+
+}  // namespace
+}  // namespace unisamp

@@ -1,0 +1,235 @@
+// unisamp command-line tool — exercise the library from the shell.
+//
+//   unisamp_cli gen-trace <nasa|clarknet|saskatchewan> <scale> <out> [seed]
+//   unisamp_cli gen-attack <peak|band> <n> <m> <out> [seed]
+//   unisamp_cli run <in> <out> --strategy=kf|omniscient [--c=N] [--k=N] [--s=N] [--seed=N]
+//   unisamp_cli kl <trace> [n]
+//   unisamp_cli effort <k> <s> <eta>
+//   unisamp_cli detect <trace> [--window=N]
+//   unisamp_cli stats <trace>
+//
+// Traces are one-id-per-line text files ('#' comments allowed).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "adversary/attacks.hpp"
+#include "analysis/urn.hpp"
+#include "core/attack_detector.hpp"
+#include "core/sampling_service.hpp"
+#include "metrics/divergence.hpp"
+#include "stream/generators.hpp"
+#include "stream/histogram.hpp"
+#include "stream/trace_io.hpp"
+#include "stream/webtrace.hpp"
+
+namespace {
+using namespace unisamp;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  unisamp_cli gen-trace <nasa|clarknet|saskatchewan> <scale> <out> [seed]\n"
+      "  unisamp_cli gen-attack <peak|band> <n> <m> <out> [seed]\n"
+      "  unisamp_cli run <in> <out> [--strategy=kf|omniscient] [--c=N] [--k=N] [--s=N] [--seed=N]\n"
+      "  unisamp_cli kl <trace> [n]\n"
+      "  unisamp_cli effort <k> <s> <eta>\n"
+      "  unisamp_cli detect <trace> [--window=N]\n"
+      "  unisamp_cli stats <trace>\n");
+  return 2;
+}
+
+std::uint64_t parse_u64(const char* s) {
+  return std::strtoull(s, nullptr, 10);
+}
+
+bool flag_value(int argc, char** argv, const char* name, std::string& out) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      out = argv[i] + prefix.size();
+      return true;
+    }
+  }
+  return false;
+}
+
+int cmd_gen_trace(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string which = argv[0];
+  const std::uint64_t scale = parse_u64(argv[1]);
+  const std::string out = argv[2];
+  const std::uint64_t seed = argc > 3 ? parse_u64(argv[3]) : 1;
+  const WebTraceSpec* spec = nullptr;
+  if (which == "nasa") spec = &nasa_trace_spec();
+  else if (which == "clarknet") spec = &clarknet_trace_spec();
+  else if (which == "saskatchewan") spec = &saskatchewan_trace_spec();
+  else return usage();
+  const WebTraceSpec scaled = scale > 1 ? scaled_spec(*spec, scale) : *spec;
+  const Stream trace = generate_webtrace(scaled, seed);
+  save_stream_text(trace, out);
+  std::printf("wrote %zu ids (%llu distinct, max freq %llu) to %s\n",
+              trace.size(),
+              static_cast<unsigned long long>(scaled.distinct_ids),
+              static_cast<unsigned long long>(scaled.max_frequency),
+              out.c_str());
+  return 0;
+}
+
+int cmd_gen_attack(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string kind = argv[0];
+  const std::size_t n = parse_u64(argv[1]);
+  const std::uint64_t m = parse_u64(argv[2]);
+  const std::string out = argv[3];
+  const std::uint64_t seed = argc > 4 ? parse_u64(argv[4]) : 1;
+  Stream stream;
+  if (kind == "peak") {
+    const std::uint64_t base = m / (2 * n) ? m / (2 * n) : 1;
+    const auto counts =
+        peak_attack_counts(n, 0, m - base * (n - 1), base);
+    stream = exact_stream(counts, seed);
+  } else if (kind == "band") {
+    stream = make_poisson_band_attack(n, m, seed).stream;
+  } else {
+    return usage();
+  }
+  save_stream_text(stream, out);
+  std::printf("wrote %zu-id %s attack stream over %zu ids to %s\n",
+              stream.size(), kind.c_str(), n, out.c_str());
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const Stream input = load_stream_text(argv[0]);
+  const std::string out_path = argv[1];
+  std::string v;
+  ServiceConfig cfg;
+  cfg.strategy = Strategy::kKnowledgeFree;
+  if (flag_value(argc, argv, "strategy", v) && v == "omniscient")
+    cfg.strategy = Strategy::kOmniscient;
+  cfg.memory_size = flag_value(argc, argv, "c", v) ? parse_u64(v.c_str()) : 10;
+  cfg.sketch_width = flag_value(argc, argv, "k", v) ? parse_u64(v.c_str()) : 10;
+  cfg.sketch_depth = flag_value(argc, argv, "s", v) ? parse_u64(v.c_str()) : 5;
+  cfg.seed = flag_value(argc, argv, "seed", v) ? parse_u64(v.c_str()) : 1;
+
+  if (cfg.strategy == Strategy::kOmniscient) {
+    FrequencyHistogram h;
+    h.add_stream(input);
+    NodeId max_id = 0;
+    for (NodeId id : input) max_id = std::max(max_id, id);
+    std::vector<double> p(max_id + 1, 0.0);
+    double minp = 1e300;
+    for (const auto& [id, c] : h.raw())
+      minp = std::min(minp, static_cast<double>(c));
+    for (NodeId id = 0; id <= max_id; ++id) {
+      const auto c = h.count(id);
+      p[id] = (c > 0 ? static_cast<double>(c) : minp);
+    }
+    double total = 0.0;
+    for (double x : p) total += x;
+    for (double& x : p) x /= total;
+    cfg.known_probabilities = std::move(p);
+  }
+
+  SamplingService service(cfg);
+  service.on_receive_stream(input);
+  save_stream_text(service.output_stream(), out_path);
+
+  FrequencyHistogram in_h, out_h;
+  in_h.add_stream(input);
+  out_h.add_stream(service.output_stream());
+  std::printf("processed %zu ids with %s (c=%zu, k=%zu, s=%zu)\n",
+              input.size(), to_string(cfg.strategy).data(), cfg.memory_size,
+              cfg.sketch_width, cfg.sketch_depth);
+  std::printf("max frequency: input %llu -> output %llu\n",
+              static_cast<unsigned long long>(in_h.max_frequency()),
+              static_cast<unsigned long long>(out_h.max_frequency()));
+  return 0;
+}
+
+int cmd_kl(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const Stream trace = load_stream_text(argv[0]);
+  std::uint64_t n = argc > 1 ? parse_u64(argv[1]) : 0;
+  if (n == 0) {
+    FrequencyHistogram h;
+    h.add_stream(trace);
+    n = h.distinct();
+  }
+  std::printf("KL(trace || uniform over %llu ids) = %.6f nats\n",
+              static_cast<unsigned long long>(n),
+              stream_kl_from_uniform(trace, n));
+  return 0;
+}
+
+int cmd_effort(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::uint64_t k = parse_u64(argv[0]);
+  const std::uint64_t s = parse_u64(argv[1]);
+  const double eta = std::strtod(argv[2], nullptr);
+  std::printf("k=%llu s=%llu eta=%g:\n", static_cast<unsigned long long>(k),
+              static_cast<unsigned long long>(s), eta);
+  std::printf("  targeted attack needs L_{k,s} = %llu distinct forged ids\n",
+              static_cast<unsigned long long>(
+                  targeted_attack_effort(k, s, eta)));
+  std::printf("  flooding attack needs E_k    = %llu distinct forged ids\n",
+              static_cast<unsigned long long>(flooding_attack_effort(k, eta)));
+  return 0;
+}
+
+int cmd_detect(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const Stream trace = load_stream_text(argv[0]);
+  std::string v;
+  DetectorConfig cfg;
+  cfg.window = flag_value(argc, argv, "window", v) ? parse_u64(v.c_str())
+                                                   : 10000;
+  cfg.heavy_capacity = 256;
+  AttackDetector detector(cfg);
+  for (NodeId id : trace) detector.observe(id);
+  for (const auto& r : detector.history()) {
+    std::printf("window %llu: signal=%s top_share=%.4f distinct=%.0f "
+                "entropy=%.3f\n",
+                static_cast<unsigned long long>(r.window_index),
+                to_string(r.signal).data(), r.top_share, r.distinct,
+                r.normalized_entropy);
+  }
+  std::printf("verdict: %s\n", to_string(detector.worst_signal()).data());
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const Stream trace = load_stream_text(argv[0]);
+  const TraceStats stats = compute_stats(trace);
+  std::printf("ids: %llu\ndistinct: %llu\nmax frequency: %llu\n",
+              static_cast<unsigned long long>(stats.stream_size),
+              static_cast<unsigned long long>(stats.distinct_ids),
+              static_cast<unsigned long long>(stats.max_frequency));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "gen-trace") return cmd_gen_trace(argc - 2, argv + 2);
+    if (cmd == "gen-attack") return cmd_gen_attack(argc - 2, argv + 2);
+    if (cmd == "run") return cmd_run(argc - 2, argv + 2);
+    if (cmd == "kl") return cmd_kl(argc - 2, argv + 2);
+    if (cmd == "effort") return cmd_effort(argc - 2, argv + 2);
+    if (cmd == "detect") return cmd_detect(argc - 2, argv + 2);
+    if (cmd == "stats") return cmd_stats(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
