@@ -6,6 +6,7 @@
 // the curve can be re-plotted externally.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -15,6 +16,7 @@
 #include "stream/generators.hpp"
 #include "stream/histogram.hpp"
 #include "util/csv.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace unisamp::bench {
@@ -76,14 +78,31 @@ inline double gain(const Stream& input, const Stream& output,
 /// histogram is over-dispersed by Gamma-residency clumping — each id that
 /// enters the memory is emitted ~1/flow times in a burst — so the paper's
 /// KL numbers are only reproducible by averaging independent runs.
+///
+/// Trials run on the util/parallel thread pool.  `run_one` must derive all
+/// randomness from the trial index it receives (every caller seeds via
+/// `derive_seed(seed, offset + t)`) and is called concurrently for distinct
+/// indices.  Accumulation happens afterwards in trial order, so the result
+/// is bit-identical to a serial run for any thread count.
 template <typename RunFn>
 std::vector<double> averaged_distribution(std::uint64_t n, int trials,
                                           RunFn&& run_one) {
   std::vector<double> avg(n, 0.0);
-  for (int t = 0; t < trials; ++t) {
-    const Stream out = run_one(static_cast<std::uint64_t>(t));
-    const auto d = empirical_distribution(out, n);
-    for (std::uint64_t i = 0; i < n; ++i) avg[i] += d[i];
+  if (trials <= 0) return avg;  // the size_t cast below must not wrap
+  // Chunking bounds peak memory at O(chunk * n) instead of O(trials * n)
+  // while keeping every worker busy; accumulation stays in strict trial
+  // order (t = 0, 1, 2, ...) across chunk boundaries, so the result is the
+  // same as the serial loop regardless of thread count or chunk size.
+  const std::size_t total = static_cast<std::size_t>(trials);
+  const std::size_t chunk = std::max<std::size_t>(4 * trial_threads(), 1);
+  for (std::size_t base = 0; base < total; base += chunk) {
+    const std::size_t count = std::min(chunk, total - base);
+    const auto per_trial = run_trials(count, [&](std::size_t offset) {
+      return empirical_distribution(
+          run_one(static_cast<std::uint64_t>(base + offset)), n);
+    });
+    for (const auto& d : per_trial)
+      for (std::uint64_t i = 0; i < n; ++i) avg[i] += d[i];
   }
   for (double& x : avg) x /= static_cast<double>(trials);
   return avg;

@@ -1,6 +1,7 @@
 #include "adversary/attacks.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 #include <unordered_set>
 

@@ -1,5 +1,6 @@
 #include "analysis/stirling.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>

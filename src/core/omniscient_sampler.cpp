@@ -1,6 +1,7 @@
 #include "core/omniscient_sampler.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
 
 namespace unisamp {

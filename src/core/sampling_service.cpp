@@ -1,5 +1,6 @@
 #include "core/sampling_service.hpp"
 
+#include <span>
 #include <stdexcept>
 
 namespace unisamp {

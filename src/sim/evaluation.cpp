@@ -1,10 +1,12 @@
 #include "sim/evaluation.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_set>
 
 #include "adversary/attacks.hpp"
 #include "metrics/divergence.hpp"
+#include "util/parallel.hpp"
 
 namespace unisamp {
 
@@ -34,22 +36,31 @@ NetworkExperimentResult run_network_experiment(
       net.topology().is_connected_among(correct);
 
   // The uniformity target: real node ids [0, nodes).  Forged ids fall
-  // outside and count as malicious mass.
+  // outside and count as malicious mass.  Per-node measurement only reads
+  // the network's post-run state through const accessors, so the correct
+  // nodes are scored concurrently; outcomes are collected in node order to
+  // keep the result independent of the thread count.
   const std::uint64_t domain = config.nodes;
-  for (std::size_t node = config.byzantine; node < config.nodes; ++node) {
-    const Stream& input = net.input_stream(node);
-    const Stream& output = net.service(node).output_stream();
-    if (input.empty() || output.empty()) continue;
-    NodeOutcome outcome;
-    outcome.node = node;
-    outcome.input_kl = stream_kl_from_uniform(input, domain);
-    outcome.output_kl = stream_kl_from_uniform(output, domain);
-    outcome.gain = kl_gain(empirical_distribution(input, domain),
-                           empirical_distribution(output, domain));
-    outcome.input_malicious = malicious_fraction(input, net.forged_ids());
-    outcome.output_malicious = malicious_fraction(output, net.forged_ids());
-    result.outcomes.push_back(outcome);
-  }
+  const std::size_t correct_count = config.nodes - config.byzantine;
+  const auto per_node = run_trials(
+      correct_count, [&](std::size_t idx) -> std::optional<NodeOutcome> {
+        const std::size_t node = config.byzantine + idx;
+        const Stream& input = net.input_stream(node);
+        const Stream& output = net.service(node).output_stream();
+        if (input.empty() || output.empty()) return std::nullopt;
+        NodeOutcome outcome;
+        outcome.node = node;
+        outcome.input_kl = stream_kl_from_uniform(input, domain);
+        outcome.output_kl = stream_kl_from_uniform(output, domain);
+        outcome.gain = kl_gain(empirical_distribution(input, domain),
+                               empirical_distribution(output, domain));
+        outcome.input_malicious = malicious_fraction(input, net.forged_ids());
+        outcome.output_malicious =
+            malicious_fraction(output, net.forged_ids());
+        return outcome;
+      });
+  for (const auto& outcome : per_node)
+    if (outcome.has_value()) result.outcomes.push_back(*outcome);
 
   if (!result.outcomes.empty()) {
     for (const auto& o : result.outcomes) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <queue>
+#include <span>
 #include <stdexcept>
 #include <unordered_set>
 

@@ -1,5 +1,6 @@
 #include "stream/discrete_sampler.hpp"
 
+#include <span>
 #include <stdexcept>
 
 namespace unisamp {

@@ -1,6 +1,7 @@
 #include "stream/histogram.hpp"
 
 #include <algorithm>
+#include <span>
 
 namespace unisamp {
 

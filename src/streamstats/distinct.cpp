@@ -1,5 +1,6 @@
 #include "streamstats/distinct.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 

@@ -1,6 +1,7 @@
 #include "util/stats.hpp"
 
 #include <cmath>
+#include <span>
 
 namespace unisamp {
 

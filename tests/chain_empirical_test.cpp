@@ -3,6 +3,15 @@
 // empirical occupancy of its memory states against the analytic stationary
 // distribution of the chain — the strongest possible check that Algorithm 1
 // implements the analysed process.
+//
+// ctest label: `statistical`.  All sampler/generator seeds are pinned
+// literals, so runs are bit-for-bit reproducible.  The empirical state
+// occupancy is autocorrelated (the memory changes by at most one id per
+// step), which rules out a chi-square; the absolute tolerances (0.02–0.03
+// on probabilities, over 400k–600k post-burn-in steps) are ~10x the
+// standard error of the slowest-mixing state observed at these chain
+// sizes, so they absorb autocorrelation while still pinning every
+// probability to its analytic value.
 #include <gtest/gtest.h>
 
 #include <map>
@@ -24,7 +33,7 @@ std::vector<double> normalized(std::vector<double> w) {
 
 TEST(ChainEmpirical, MemoryStateOccupancyMatchesStationary) {
   // n = 6, c = 2 -> 15 states; heavily skewed p.
-  const unsigned n = 6, c = 2;
+  const unsigned c = 2;
   const auto p = normalized({0.4, 0.25, 0.15, 0.1, 0.06, 0.04});
   SamplerChain chain(omniscient_parameters(c, p));
   const auto pi = chain.stationary_power_iteration();

@@ -1,0 +1,135 @@
+// Tests of the deterministic thread-pool trial runner (util/parallel).
+//
+// The load-bearing property is the determinism contract: when each trial
+// derives its randomness from the trial index alone, the aggregate returned
+// by run_trials is bit-identical for ANY thread count — the paper's 100-trial
+// averages (Sec. VI-A) must not depend on how many cores the machine has.
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace unisamp {
+namespace {
+
+/// Restores automatic thread resolution even if a test fails mid-way.
+class ThreadCountGuard {
+ public:
+  ~ThreadCountGuard() { set_trial_threads(0); }
+};
+
+/// A trial body with per-index randomness, shaped like the real benches:
+/// seed the RNG from the trial index, draw a few values, return a vector.
+std::vector<double> trial_body(std::uint64_t master_seed, std::size_t t) {
+  Xoshiro256 rng(derive_seed(master_seed, t));
+  std::vector<double> values(8);
+  for (double& v : values) v = rng.next_double();
+  return values;
+}
+
+TEST(ParallelTest, RunTrialsReturnsResultsInTrialOrder) {
+  ThreadCountGuard guard;
+  set_trial_threads(4);
+  const auto results =
+      run_trials(100, [](std::size_t t) { return t * t; });
+  ASSERT_EQ(results.size(), 100u);
+  for (std::size_t t = 0; t < results.size(); ++t)
+    EXPECT_EQ(results[t], t * t);
+}
+
+TEST(ParallelTest, SameSeedBitIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  constexpr std::uint64_t kSeed = 0xA5CEA03E;
+  constexpr std::size_t kTrials = 64;
+
+  set_trial_threads(1);
+  const auto serial = run_trials(
+      kTrials, [](std::size_t t) { return trial_body(kSeed, t); });
+
+  for (std::size_t threads : {2u, 3u, 4u, 7u, 16u}) {
+    set_trial_threads(threads);
+    const auto parallel = run_trials(
+        kTrials, [](std::size_t t) { return trial_body(kSeed, t); });
+    ASSERT_EQ(parallel.size(), serial.size()) << threads << " threads";
+    for (std::size_t t = 0; t < kTrials; ++t) {
+      ASSERT_EQ(parallel[t].size(), serial[t].size());
+      for (std::size_t i = 0; i < serial[t].size(); ++i) {
+        // Bit-identical, not approximately equal: each slot is written by
+        // exactly one trial, so no float non-associativity can creep in.
+        EXPECT_EQ(parallel[t][i], serial[t][i])
+            << "trial " << t << " value " << i << " with " << threads
+            << " threads";
+      }
+    }
+  }
+}
+
+TEST(ParallelTest, AggregateInTrialOrderMatchesSerialAccumulation) {
+  ThreadCountGuard guard;
+  constexpr std::uint64_t kSeed = 77;
+  constexpr std::size_t kTrials = 50;
+  constexpr std::size_t kBins = 16;
+
+  // Serial reference: the pre-refactor accumulation order.
+  std::vector<double> reference(kBins, 0.0);
+  for (std::size_t t = 0; t < kTrials; ++t) {
+    const auto d = trial_body(kSeed, t);
+    for (std::size_t i = 0; i < kBins && i < d.size(); ++i)
+      reference[i] += d[i];
+  }
+
+  set_trial_threads(8);
+  const auto per_trial = run_trials(
+      kTrials, [](std::size_t t) { return trial_body(kSeed, t); });
+  std::vector<double> aggregated(kBins, 0.0);
+  for (const auto& d : per_trial)
+    for (std::size_t i = 0; i < kBins && i < d.size(); ++i)
+      aggregated[i] += d[i];
+
+  for (std::size_t i = 0; i < kBins; ++i)
+    EXPECT_EQ(aggregated[i], reference[i]) << "bin " << i;
+}
+
+TEST(ParallelTest, EveryIndexRunsExactlyOnce) {
+  ThreadCountGuard guard;
+  set_trial_threads(6);
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for_index(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelTest, ZeroTrialsIsANoOp) {
+  const auto results = run_trials(0, [](std::size_t t) { return t; });
+  EXPECT_TRUE(results.empty());
+  parallel_for_index(0, [](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ParallelTest, ExceptionsPropagateToCaller) {
+  ThreadCountGuard guard;
+  set_trial_threads(4);
+  EXPECT_THROW(
+      parallel_for_index(32,
+                         [](std::size_t i) {
+                           if (i == 17) throw std::runtime_error("trial 17");
+                         }),
+      std::runtime_error);
+}
+
+TEST(ParallelTest, ThreadCountOverrideAndReset) {
+  ThreadCountGuard guard;
+  set_trial_threads(3);
+  EXPECT_EQ(trial_threads(), 3u);
+  set_trial_threads(0);
+  EXPECT_GE(trial_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace unisamp

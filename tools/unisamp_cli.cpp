@@ -28,9 +28,9 @@
 namespace {
 using namespace unisamp;
 
-int usage() {
+void print_usage(std::FILE* out) {
   std::fprintf(
-      stderr,
+      out,
       "usage:\n"
       "  unisamp_cli gen-trace <nasa|clarknet|saskatchewan> <scale> <out> [seed]\n"
       "  unisamp_cli gen-attack <peak|band> <n> <m> <out> [seed]\n"
@@ -39,6 +39,10 @@ int usage() {
       "  unisamp_cli effort <k> <s> <eta>\n"
       "  unisamp_cli detect <trace> [--window=N]\n"
       "  unisamp_cli stats <trace>\n");
+}
+
+int usage() {
+  print_usage(stderr);
   return 2;
 }
 
@@ -219,6 +223,10 @@ int cmd_stats(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    print_usage(stdout);
+    return 0;
+  }
   try {
     if (cmd == "gen-trace") return cmd_gen_trace(argc - 2, argv + 2);
     if (cmd == "gen-attack") return cmd_gen_attack(argc - 2, argv + 2);
