@@ -7,10 +7,14 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
+#include "bench_harness/json_writer.hpp"
+#include "bench_harness/runner.hpp"
 #include "core/sampling_service.hpp"
 #include "metrics/divergence.hpp"
 #include "stream/generators.hpp"
@@ -126,6 +130,99 @@ inline std::vector<double> averaged_omni_distribution(const Stream& input,
   return averaged_distribution(n, trials, [&](std::uint64_t t) {
     return run_omniscient(input, n, c, derive_seed(seed, 200 + t));
   });
+}
+
+/// --- bench_harness bridge --------------------------------------------------
+///
+/// Figure binaries run their series computation as a bench_harness Scenario
+/// (one timed repetition through the same runner tools/unisamp_bench uses)
+/// and serialize the result through the same JSON writer, so figure
+/// reproduction doubles as a perf record: bench_results/<slug>.json carries
+/// both the data series and the measured ns/op of producing it.
+
+/// A figure's data series: column names plus numeric rows (what the CSV
+/// holds, kept in memory so it can also go into the JSON report).
+struct FigureSeries {
+  std::vector<std::string> columns;
+  std::vector<std::vector<double>> rows;
+
+  void add_row(std::vector<double> row) { rows.push_back(std::move(row)); }
+
+  /// Folds every cell's bit pattern — the scenario checksum, so a figure
+  /// rerun with the same seed is verifiably bit-identical.
+  std::uint64_t checksum() const {
+    std::uint64_t acc = bench_harness::kChecksumSeed;
+    for (const auto& row : rows)
+      for (const double v : row)
+        acc = bench_harness::checksum_fold(acc,
+                                           std::bit_cast<std::uint64_t>(v));
+    return acc;
+  }
+};
+
+/// Runs `compute` (which fills `series` and returns items processed) as a
+/// one-repetition bench_harness scenario and returns the timed report.
+template <typename ComputeFn>
+bench_harness::ScenarioReport run_figure_scenario(const std::string& name,
+                                                  const std::string& what,
+                                                  std::uint64_t seed,
+                                                  FigureSeries& series,
+                                                  ComputeFn&& compute) {
+  bench_harness::Scenario scenario;
+  scenario.name = name;
+  scenario.description = what;
+  scenario.full_items = 1;  // figures define their own sweep; budget unused
+  scenario.quick_items = 1;
+  scenario.run = [&](std::uint64_t, std::uint64_t s) {
+    series = FigureSeries{};
+    const std::uint64_t items = compute(s);
+    return bench_harness::ScenarioResult{items, series.checksum()};
+  };
+  bench_harness::RunOptions opts;
+  opts.warmup = 0;
+  opts.repeats = 1;
+  opts.seed = seed;
+  return bench_harness::run_scenario(scenario, opts);
+}
+
+/// Writes bench_results/<slug>.json: figure metadata + timing + series
+/// ("unisamp-figure-v1").  Returns false if the file could not be written —
+/// callers must surface that (a phantom perf record is worse than none).
+inline bool write_figure_json(const std::string& slug,
+                              const std::string& artefact,
+                              const bench_harness::ScenarioReport& report,
+                              const FigureSeries& series) {
+  namespace bh = bench_harness;
+  bh::JsonWriter w;
+  w.begin_object();
+  w.member("schema", "unisamp-figure-v1");
+  w.member("artefact", std::string_view(artefact));
+  w.member("scenario", std::string_view(report.name));
+  w.member("description", std::string_view(report.description));
+  w.key("timing");
+  w.begin_object();
+  w.member("items", report.items);
+  w.member("ns_per_op", report.ns_per_op.median);
+  w.member("items_per_sec", report.items_per_sec);
+  w.end_object();
+  w.member("checksum", report.checksum);
+  w.key("columns");
+  w.begin_array();
+  for (const std::string& c : series.columns) w.value(std::string_view(c));
+  w.end_array();
+  w.key("rows");
+  w.begin_array();
+  for (const auto& row : series.rows) {
+    w.begin_array();
+    for (const double v : row) w.value(v);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+  std::ofstream out(results_dir() + "/" + slug + ".json");
+  if (!out) return false;
+  out << w.str() << '\n';
+  return out.good();
 }
 
 }  // namespace unisamp::bench

@@ -5,6 +5,10 @@
 //      gain starts much lower (the attack succeeds at small c) and the
 //      attack is masked at larger c (paper: c ~ 700).
 // Settings: m = 100,000, n = 1,000, k = 10, s = 17.
+//
+// The sweep runs as a bench_harness scenario (same runner/JSON code path as
+// tools/unisamp_bench): bench_results/fig10_gain_vs_c.json records the data
+// series together with the measured per-sampler-step cost.
 #include "adversary/attacks.hpp"
 #include "common.hpp"
 
@@ -21,30 +25,57 @@ int main() {
   const auto band = make_poisson_band_attack(n, m, 102);
   const Stream& band_input = band.stream;
 
+  bench::FigureSeries series;
+  const auto report = bench::run_figure_scenario(
+      "fig/fig10_gain_vs_c", "G_KL vs sampling memory size c", 1, series,
+      [&](std::uint64_t) -> std::uint64_t {
+        series.columns = {"c", "gain_kf_peak", "gain_omni_peak",
+                          "gain_kf_band", "gain_omni_band"};
+        std::uint64_t steps = 0;
+        for (std::size_t c :
+             {10u, 25u, 50u, 100u, 200u, 300u, 500u, 700u, 1000u}) {
+          const Stream kf_a =
+              bench::run_knowledge_free(peak_input, c, 10, 17, c + 7);
+          const Stream om_a = bench::run_omniscient(peak_input, n, c, c + 8);
+          const Stream kf_b =
+              bench::run_knowledge_free(band_input, c, 10, 17, c + 9);
+          const Stream om_b = bench::run_omniscient(band_input, n, c, c + 11);
+          steps += 2 * (peak_input.size() + band_input.size());
+          series.add_row({static_cast<double>(c),
+                          bench::gain(peak_input, kf_a, n),
+                          bench::gain(peak_input, om_a, n),
+                          bench::gain(band_input, kf_b, n),
+                          bench::gain(band_input, om_b, n)});
+        }
+        return steps;
+      });
+
   AsciiTable table;
   table.set_header({"c", "(a) kf", "(a) omni", "(b) kf", "(b) omni"});
   CsvWriter csv(bench::results_dir() + "/fig10_gain_vs_c.csv");
   csv.header({"c", "gain_kf_peak", "gain_omni_peak", "gain_kf_band",
               "gain_omni_band"});
-
-  for (std::size_t c : {10u, 25u, 50u, 100u, 200u, 300u, 500u, 700u, 1000u}) {
-    const Stream kf_a = bench::run_knowledge_free(peak_input, c, 10, 17, c + 7);
-    const Stream om_a = bench::run_omniscient(peak_input, n, c, c + 8);
-    const Stream kf_b = bench::run_knowledge_free(band_input, c, 10, 17, c + 9);
-    const Stream om_b = bench::run_omniscient(band_input, n, c, c + 11);
-    const double ga_kf = bench::gain(peak_input, kf_a, n);
-    const double ga_om = bench::gain(peak_input, om_a, n);
-    const double gb_kf = bench::gain(band_input, kf_b, n);
-    const double gb_om = bench::gain(band_input, om_b, n);
-    table.add_row({std::to_string(c), format_double(ga_kf, 4),
-                   format_double(ga_om, 4), format_double(gb_kf, 4),
-                   format_double(gb_om, 4)});
-    csv.row_numeric({static_cast<double>(c), ga_kf, ga_om, gb_kf, gb_om});
+  for (const auto& row : series.rows) {
+    table.add_row({std::to_string(static_cast<std::uint64_t>(row[0])),
+                   format_double(row[1], 4), format_double(row[2], 4),
+                   format_double(row[3], 4), format_double(row[4], 4)});
+    csv.row_numeric(row);
   }
   std::printf("%s", table.render().c_str());
+  if (!bench::write_figure_json("fig10_gain_vs_c", "Figure 10", report,
+                                series)) {
+    std::fprintf(stderr, "failed to write bench_results/fig10_gain_vs_c"
+                         ".json\n");
+    return 1;
+  }
   std::printf("\n(a) = peak attack (Zipf alpha 4); (b) = targeted+flooding "
               "(Poisson band).\nincreasing c is the defender's lever: the "
               "knowledge-free gain climbs toward the omniscient one.\n"
-              "series written to bench_results/fig10_gain_vs_c.csv\n");
+              "series written to bench_results/fig10_gain_vs_c.{csv,json}\n");
+  // Timing goes to stderr: stdout and the CSVs stay bit-identical across
+  // runs/thread counts; only the JSON's "timing" object carries wall clock.
+  std::fprintf(stderr, "%llu sampler steps at %.0f ns/step\n",
+               static_cast<unsigned long long>(report.items),
+               report.ns_per_op.median);
   return 0;
 }

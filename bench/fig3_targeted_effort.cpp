@@ -4,6 +4,10 @@
 //
 // Expected shape (paper): linear in k, sublinear in eta_T; e.g. at k = 50,
 // s = 10: 150 ids for eta_T = 0.5 and 571 for eta_T = 1e-4.
+//
+// The series is computed as a bench_harness scenario (same runner/JSON code
+// path as tools/unisamp_bench), so the run also leaves a perf+data record
+// at bench_results/fig3_targeted_effort.json.
 #include "analysis/urn.hpp"
 #include "common.hpp"
 
@@ -15,19 +19,36 @@ int main() {
   const std::vector<double> etas = {0.5, 1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6};
   const std::uint64_t s = 10;
 
+  bench::FigureSeries series;
+  const auto report = bench::run_figure_scenario(
+      "fig/fig3_targeted_effort", "targeted-attack effort L_{k,s} vs k", 1,
+      series, [&](std::uint64_t) -> std::uint64_t {
+        series.columns = {"k", "eta", "L_ks"};
+        std::uint64_t solves = 0;
+        for (std::uint64_t k = 10; k <= 500; k += 10) {
+          const auto efforts = targeted_attack_efforts(k, s, etas);
+          for (std::size_t i = 0; i < etas.size(); ++i) {
+            series.add_row({static_cast<double>(k), etas[i],
+                            static_cast<double>(efforts[i])});
+            ++solves;
+          }
+        }
+        return solves;
+      });
+
   AsciiTable table;
   table.set_header({"k", "eta=0.5", "1e-1", "1e-2", "1e-3", "1e-4", "1e-5",
                     "1e-6"});
   CsvWriter csv(bench::results_dir() + "/fig3_targeted_effort.csv");
   csv.header({"k", "eta", "L_ks"});
-
-  for (std::uint64_t k = 10; k <= 500; k += 10) {
-    const auto efforts = targeted_attack_efforts(k, s, etas);
+  // Rows arrive in blocks of one k times etas.size() entries.
+  for (std::size_t base = 0; base < series.rows.size(); base += etas.size()) {
+    const auto k = static_cast<std::uint64_t>(series.rows[base][0]);
     std::vector<std::string> row = {std::to_string(k)};
     for (std::size_t i = 0; i < etas.size(); ++i) {
-      row.push_back(std::to_string(efforts[i]));
-      csv.row_numeric({static_cast<double>(k), etas[i],
-                       static_cast<double>(efforts[i])});
+      csv.row_numeric(series.rows[base + i]);
+      row.push_back(std::to_string(
+          static_cast<std::uint64_t>(series.rows[base + i][2])));
     }
     if (k % 50 == 0 || k == 10) table.add_row(row);
   }
@@ -43,6 +64,18 @@ int main() {
                   targeted_attack_effort(50, 10, 0.5)),
               static_cast<unsigned long long>(
                   targeted_attack_effort(50, 10, 1e-4)));
-  std::printf("series written to bench_results/fig3_targeted_effort.csv\n");
+  if (!bench::write_figure_json("fig3_targeted_effort", "Figure 3", report,
+                                series)) {
+    std::fprintf(stderr, "failed to write bench_results/fig3_targeted_effort"
+                         ".json\n");
+    return 1;
+  }
+  std::printf("series written to bench_results/fig3_targeted_effort"
+              ".{csv,json}\n");
+  // Timing goes to stderr: stdout and the CSVs stay bit-identical across
+  // runs/thread counts; only the JSON's "timing" object carries wall clock.
+  std::fprintf(stderr, "%llu solves in %.0f ns/solve\n",
+               static_cast<unsigned long long>(report.items),
+               report.ns_per_op.median);
   return 0;
 }

@@ -4,6 +4,10 @@
 // Expected shape: omniscient gain ~1 throughout; knowledge-free gain > 0.9
 // across the whole range (the paper's "pretty good resilience ... in a very
 // large system"); the inset KL values drop from input to outputs.
+//
+// The sweep runs as a bench_harness scenario (same runner/JSON code path as
+// tools/unisamp_bench): bench_results/fig8_gain_vs_n.json records the data
+// series together with the measured per-sampler-step cost.
 #include "common.hpp"
 
 int main() {
@@ -12,32 +16,55 @@ int main() {
                 "m = 100000, k = 10, c = 10, s = 17, Zipf alpha = 4");
 
   const std::uint64_t m = 100000;
+  constexpr int kTrials = 5;  // paper: 100 trials averaged per setting
+
+  bench::FigureSeries series;
+  const auto report = bench::run_figure_scenario(
+      "fig/fig8_gain_vs_n", "G_KL vs population size n (peak attack)", 1,
+      series, [&](std::uint64_t) -> std::uint64_t {
+        series.columns = {"n", "kl_input", "kl_kf", "kl_omni", "gain_kf",
+                          "gain_omni"};
+        std::uint64_t steps = 0;
+        for (std::size_t n : {10u, 20u, 50u, 100u, 200u, 500u, 1000u}) {
+          const auto counts = counts_from_weights(zipf_weights(n, 4.0), m, 1);
+          const Stream input = exact_stream(counts, n + 5);
+          const auto in_dist = empirical_distribution(input, n);
+          const auto kf_dist = bench::averaged_kf_distribution(
+              input, n, 10, 10, 17, n + 81, kTrials);
+          const auto om_dist =
+              bench::averaged_omni_distribution(input, n, 10, n + 82, kTrials);
+          steps += input.size() * (2 * kTrials);
+          series.add_row({static_cast<double>(n), kl_from_uniform(in_dist),
+                          kl_from_uniform(kf_dist), kl_from_uniform(om_dist),
+                          kl_gain(in_dist, kf_dist),
+                          kl_gain(in_dist, om_dist)});
+        }
+        return steps;
+      });
+
   AsciiTable table;
   table.set_header({"n", "KL input", "KL knowledge-free", "KL omniscient",
                     "G_KL knowledge-free", "G_KL omniscient"});
   CsvWriter csv(bench::results_dir() + "/fig8_gain_vs_n.csv");
   csv.header({"n", "kl_input", "kl_kf", "kl_omni", "gain_kf", "gain_omni"});
-
-  constexpr int kTrials = 5;  // paper: 100 trials averaged per setting
-  for (std::size_t n : {10u, 20u, 50u, 100u, 200u, 500u, 1000u}) {
-    const auto counts = counts_from_weights(zipf_weights(n, 4.0), m, 1);
-    const Stream input = exact_stream(counts, n + 5);
-    const auto in_dist = empirical_distribution(input, n);
-    const auto kf_dist = bench::averaged_kf_distribution(input, n, 10, 10, 17,
-                                                         n + 81, kTrials);
-    const auto om_dist =
-        bench::averaged_omni_distribution(input, n, 10, n + 82, kTrials);
-    const double kl_in = kl_from_uniform(in_dist);
-    const double kl_kf = kl_from_uniform(kf_dist);
-    const double kl_om = kl_from_uniform(om_dist);
-    const double g_kf = kl_gain(in_dist, kf_dist);
-    const double g_om = kl_gain(in_dist, om_dist);
-    table.add_row({std::to_string(n), format_double(kl_in, 4),
-                   format_double(kl_kf, 4), format_double(kl_om, 4),
-                   format_double(g_kf, 4), format_double(g_om, 4)});
-    csv.row_numeric({static_cast<double>(n), kl_in, kl_kf, kl_om, g_kf, g_om});
+  for (const auto& row : series.rows) {
+    table.add_row({std::to_string(static_cast<std::uint64_t>(row[0])),
+                   format_double(row[1], 4), format_double(row[2], 4),
+                   format_double(row[3], 4), format_double(row[4], 4),
+                   format_double(row[5], 4)});
+    csv.row_numeric(row);
   }
   std::printf("%s", table.render().c_str());
-  std::printf("\nseries written to bench_results/fig8_gain_vs_n.csv\n");
+  if (!bench::write_figure_json("fig8_gain_vs_n", "Figure 8", report,
+                                series)) {
+    std::fprintf(stderr, "failed to write bench_results/fig8_gain_vs_n.json\n");
+    return 1;
+  }
+  std::printf("\nseries written to bench_results/fig8_gain_vs_n.{csv,json}\n");
+  // Timing goes to stderr: stdout and the CSVs stay bit-identical across
+  // runs/thread counts; only the JSON's "timing" object carries wall clock.
+  std::fprintf(stderr, "%llu sampler steps at %.0f ns/step\n",
+               static_cast<unsigned long long>(report.items),
+               report.ns_per_op.median);
   return 0;
 }

@@ -1,0 +1,162 @@
+#include "bench_harness/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace unisamp::bench_harness {
+
+namespace {
+constexpr std::string_view kIndent = "  ";
+}  // namespace
+
+void JsonWriter::pre_value() {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (stack_.empty()) {
+    if (!out_.empty())
+      throw std::logic_error("JsonWriter: multiple top-level values");
+    return;
+  }
+  if (stack_.back() == Frame::kObject && !key_pending_)
+    throw std::logic_error("JsonWriter: object value without key()");
+  if (stack_.back() == Frame::kArray) {
+    if (!first_in_frame_.back()) out_ += ',';
+    first_in_frame_.back() = false;
+    out_ += '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i) out_ += kIndent;
+  }
+  key_pending_ = false;
+}
+
+void JsonWriter::key(std::string_view name) {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (stack_.empty() || stack_.back() != Frame::kObject)
+    throw std::logic_error("JsonWriter: key() outside an object");
+  if (key_pending_) throw std::logic_error("JsonWriter: key() after key()");
+  if (!first_in_frame_.back()) out_ += ',';
+  first_in_frame_.back() = false;
+  out_ += '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) out_ += kIndent;
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\": ";
+  key_pending_ = true;
+}
+
+void JsonWriter::begin_object() {
+  pre_value();
+  out_ += '{';
+  stack_.push_back(Frame::kObject);
+  first_in_frame_.push_back(true);
+}
+
+void JsonWriter::begin_array() {
+  pre_value();
+  out_ += '[';
+  stack_.push_back(Frame::kArray);
+  first_in_frame_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Frame::kObject || key_pending_)
+    throw std::logic_error("JsonWriter: unbalanced end_object()");
+  const bool empty = first_in_frame_.back();
+  stack_.pop_back();
+  first_in_frame_.pop_back();
+  if (!empty) {
+    out_ += '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i) out_ += kIndent;
+  }
+  out_ += '}';
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::kArray)
+    throw std::logic_error("JsonWriter: unbalanced end_array()");
+  const bool empty = first_in_frame_.back();
+  stack_.pop_back();
+  first_in_frame_.pop_back();
+  if (!empty) {
+    out_ += '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i) out_ += kIndent;
+  }
+  out_ += ']';
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  pre_value();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::value(double v) {
+  pre_value();
+  out_ += format_double(v);
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  out_ += std::to_string(v);
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  pre_value();
+  out_ += std::to_string(v);
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::value(bool v) {
+  pre_value();
+  out_ += v ? "true" : "false";
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::value_null() {
+  pre_value();
+  out_ += "null";
+  if (stack_.empty()) done_ = true;
+}
+
+const std::string& JsonWriter::str() const {
+  if (!done_ || !stack_.empty())
+    throw std::logic_error("JsonWriter: document incomplete");
+  return out_;
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::format_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace unisamp::bench_harness

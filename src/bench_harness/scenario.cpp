@@ -1,0 +1,30 @@
+#include "bench_harness/scenario.hpp"
+
+namespace unisamp::bench_harness {
+
+void ScenarioRegistry::add(Scenario scenario) {
+  if (scenario.name.empty())
+    throw std::invalid_argument("scenario needs a name");
+  if (!scenario.run)
+    throw std::invalid_argument("scenario '" + scenario.name +
+                                "' has no run function");
+  if (scenario.full_items == 0 || scenario.quick_items == 0)
+    throw std::invalid_argument("scenario '" + scenario.name +
+                                "' needs positive item budgets");
+  for (const Scenario& s : scenarios_)
+    if (s.name == scenario.name)
+      throw std::invalid_argument("duplicate scenario name '" + scenario.name +
+                                  "'");
+  scenarios_.push_back(std::move(scenario));
+}
+
+std::vector<const Scenario*> ScenarioRegistry::match(
+    std::string_view filter) const {
+  std::vector<const Scenario*> out;
+  for (const Scenario& s : scenarios_)
+    if (filter.empty() || s.name.find(filter) != std::string::npos)
+      out.push_back(&s);
+  return out;
+}
+
+}  // namespace unisamp::bench_harness

@@ -1,0 +1,79 @@
+// Scenario registry of the benchmark harness.
+//
+// A Scenario is a named, self-contained unit of measured work: the runner
+// hands it an item budget (how much work to do — full or --quick scale) and
+// a seed, and it returns how many items it actually processed plus a
+// checksum folded over its observable output.  The checksum is the
+// harness's determinism guard: the runner re-runs every scenario with the
+// same seed for each repetition and refuses to report timings whose
+// checksums disagree, because a nondeterministic scenario cannot be
+// regression-tracked (its work varies, not just its wall clock).
+//
+// Scenarios register by name into a ScenarioRegistry.  Names are
+// slash-scoped ("sketch/count_min_update") so --filter can select whole
+// families by substring.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace unisamp::bench_harness {
+
+/// What one repetition of a scenario did.
+struct ScenarioResult {
+  std::uint64_t items = 0;     ///< units of work processed (for ns/op)
+  std::uint64_t checksum = 0;  ///< fold of observable output (determinism)
+};
+
+/// The checksum convention every scenario uses: start from kChecksumSeed
+/// and fold each observed value with checksum_fold.  One shared definition
+/// so figure reports and driver reports stay comparable — two scenarios
+/// folding the same observations always produce the same checksum.
+inline constexpr std::uint64_t kChecksumSeed = 0x9E3779B97F4A7C15ULL;
+
+constexpr std::uint64_t checksum_fold(std::uint64_t acc, std::uint64_t v) {
+  return SplitMix64::mix(acc ^ v);
+}
+
+/// Folds a whole sequence (e.g. a sampler's output stream).
+constexpr std::uint64_t checksum_of(std::span<const std::uint64_t> values) {
+  std::uint64_t acc = kChecksumSeed;
+  for (const std::uint64_t v : values) acc = checksum_fold(acc, v);
+  return acc;
+}
+
+struct Scenario {
+  std::string name;         ///< slash-scoped, unique within a registry
+  std::string description;  ///< one line, carried into the JSON report
+  std::uint64_t full_items = 0;   ///< item budget of a normal run
+  std::uint64_t quick_items = 0;  ///< item budget under --quick (CI smoke)
+  /// One repetition: do `items` worth of work, deriving all randomness from
+  /// `seed`.  Setup that should not be timed belongs in captured state
+  /// built before registration (the runner times the whole call).
+  std::function<ScenarioResult(std::uint64_t items, std::uint64_t seed)> run;
+};
+
+class ScenarioRegistry {
+ public:
+  /// Adds a scenario; throws std::invalid_argument on a duplicate name or a
+  /// missing run function.
+  void add(Scenario scenario);
+
+  const std::vector<Scenario>& all() const { return scenarios_; }
+
+  /// Scenarios whose name contains `filter` (empty matches all), in
+  /// registration order.
+  std::vector<const Scenario*> match(std::string_view filter) const;
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+}  // namespace unisamp::bench_harness

@@ -49,28 +49,14 @@ class BasicKnowledgeFreeSampler final : public NodeSampler {
     gamma_.reserve(c_);
   }
 
-  NodeId process(NodeId id) override {
-    // cobegin: Algorithm 2 reads the same element first.
-    sketch_.update(id);
-    const std::uint64_t f_hat = sketch_.estimate(id);
-    const std::uint64_t min_sigma = sketch_.min_counter();
-    if (!contains(id)) {
-      if (gamma_.size() < c_) {
-        gamma_.push_back(id);
-        members_.insert(id);
-      } else {
-        const double a_j = f_hat == 0 ? 0.0
-                                      : static_cast<double>(min_sigma) /
-                                            static_cast<double>(f_hat);
-        if (rng_.bernoulli(a_j)) {
-          const std::size_t victim = rng_.next_below(gamma_.size());
-          members_.erase(gamma_[victim]);
-          gamma_[victim] = id;
-          members_.insert(id);
-        }
-      }
-    }
-    return sample();
+  NodeId process(NodeId id) override { return process_one(id); }
+
+  /// Devirtualized batch loop: one virtual dispatch per stream instead of
+  /// per item, with the sketch update/estimate inlined into the loop body.
+  /// Bit-identical to calling process() once per id (same RNG consumption).
+  void process_stream(std::span<const NodeId> input, Stream& output) override {
+    output.reserve(output.size() + input.size());
+    for (const NodeId id : input) output.push_back(process_one(id));
   }
 
   NodeId sample() override {
@@ -95,6 +81,31 @@ class BasicKnowledgeFreeSampler final : public NodeSampler {
   }
 
  private:
+  NodeId process_one(NodeId id) {
+    // cobegin: Algorithm 2 reads the same element first.
+    sketch_.update(id);
+    const std::uint64_t f_hat = sketch_.estimate(id);
+    const std::uint64_t min_sigma = sketch_.min_counter();
+    if (!contains(id)) {
+      if (gamma_.size() < c_) {
+        gamma_.push_back(id);
+        members_.insert(id);
+      } else {
+        const double a_j = f_hat == 0 ? 0.0
+                                      : static_cast<double>(min_sigma) /
+                                            static_cast<double>(f_hat);
+        if (rng_.bernoulli(a_j)) {
+          const std::size_t victim = rng_.next_below(gamma_.size());
+          members_.erase(gamma_[victim]);
+          gamma_[victim] = id;
+          members_.insert(id);
+        }
+      }
+    }
+    // Uniform pick from Gamma (non-virtual: the emit of sample() inlined).
+    return gamma_[rng_.next_below(gamma_.size())];
+  }
+
   bool contains(NodeId id) const { return members_.contains(id); }
 
   std::size_t c_;

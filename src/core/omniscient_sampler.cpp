@@ -6,13 +6,6 @@
 
 namespace unisamp {
 
-Stream NodeSampler::run(std::span<const NodeId> input) {
-  Stream out;
-  out.reserve(input.size());
-  for (NodeId id : input) out.push_back(process(id));
-  return out;
-}
-
 OmniscientSampler::OmniscientSampler(std::size_t c,
                                      std::vector<double> probabilities,
                                      std::uint64_t seed)
@@ -33,7 +26,15 @@ double OmniscientSampler::insertion_probability(NodeId id) const {
   return p_min_ / p_[id];
 }
 
-NodeId OmniscientSampler::process(NodeId id) {
+NodeId OmniscientSampler::process(NodeId id) { return process_one(id); }
+
+void OmniscientSampler::process_stream(std::span<const NodeId> input,
+                                       Stream& output) {
+  output.reserve(output.size() + input.size());
+  for (const NodeId id : input) output.push_back(process_one(id));
+}
+
+NodeId OmniscientSampler::process_one(NodeId id) {
   if (id >= p_.size()) throw std::out_of_range("id outside known population");
   if (!contains(id)) {
     if (gamma_.size() < c_) {

@@ -33,6 +33,8 @@ class OmniscientSampler final : public NodeSampler {
                     std::uint64_t seed);
 
   NodeId process(NodeId id) override;
+  /// Devirtualized batch loop (bit-identical to per-item process calls).
+  void process_stream(std::span<const NodeId> input, Stream& output) override;
   NodeId sample() override;
   std::vector<NodeId> memory() const override { return gamma_; }
   std::size_t capacity() const override { return c_; }
@@ -43,6 +45,7 @@ class OmniscientSampler final : public NodeSampler {
 
  private:
   bool contains(NodeId id) const { return members_.contains(id); }
+  NodeId process_one(NodeId id);
 
   std::size_t c_;
   std::vector<double> p_;

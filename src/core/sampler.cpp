@@ -1,0 +1,18 @@
+#include "core/sampler.hpp"
+
+namespace unisamp {
+
+void NodeSampler::process_stream(std::span<const NodeId> input,
+                                 Stream& output) {
+  output.reserve(output.size() + input.size());
+  for (const NodeId id : input) output.push_back(process(id));
+}
+
+Stream NodeSampler::run(std::span<const NodeId> input) {
+  Stream out;
+  out.reserve(input.size());
+  process_stream(input, out);
+  return out;
+}
+
+}  // namespace unisamp

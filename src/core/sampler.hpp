@@ -37,8 +37,14 @@ class NodeSampler {
 
   virtual std::string_view name() const = 0;
 
+  /// Batched equivalent of calling process() once per id, appending each
+  /// emitted id to `output`.  Bit-identical to the per-item loop (same ids,
+  /// same RNG consumption) — overrides exist purely to hoist per-item
+  /// virtual dispatch out of the hot loop, not to change semantics.
+  virtual void process_stream(std::span<const NodeId> input, Stream& output);
+
   /// Convenience: runs a whole stream through the sampler and returns the
-  /// output stream.
+  /// output stream (via process_stream, so it takes the batched fast path).
   Stream run(std::span<const NodeId> input);
 };
 

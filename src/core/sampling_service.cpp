@@ -53,8 +53,23 @@ NodeId SamplingService::on_receive(NodeId id) {
 }
 
 void SamplingService::on_receive_stream(std::span<const NodeId> ids) {
-  if (config_.record_output) output_.reserve(output_.size() + ids.size());
-  for (NodeId id : ids) on_receive(id);
+  if (ids.empty()) return;
+  Stream& sink = config_.record_output ? output_ : batch_scratch_;
+  if (!config_.record_output) batch_scratch_.clear();
+  const std::size_t start = sink.size();
+  try {
+    sampler_->process_stream(ids, sink);
+  } catch (...) {
+    // A sampler throw mid-batch (e.g. an omniscient id outside the known
+    // population) must leave the same state as the per-item loop: every id
+    // emitted before the failure fully accounted, the failing one absent.
+    const auto emitted = std::span(sink).subspan(start);
+    histogram_.add_stream(emitted);
+    processed_ += emitted.size();
+    throw;
+  }
+  histogram_.add_stream(std::span(sink).subspan(start));
+  processed_ += ids.size();
 }
 
 std::optional<NodeId> SamplingService::sample() {

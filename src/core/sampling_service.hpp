@@ -54,7 +54,9 @@ class SamplingService {
   /// output stream.
   NodeId on_receive(NodeId id);
 
-  /// Feeds a whole stream.
+  /// Feeds a whole stream.  Bit-identical to calling on_receive per id but
+  /// takes the batched fast path: one virtual dispatch into the sampler for
+  /// the whole span and histogram bookkeeping hoisted out of the item loop.
   void on_receive_stream(std::span<const NodeId> ids);
 
   /// S_i(t).  nullopt before the first id arrives.
@@ -72,6 +74,10 @@ class SamplingService {
   Stream output_;
   FrequencyHistogram histogram_;
   std::uint64_t processed_ = 0;
+  // Batch landing zone when record_output is off: on_receive_stream still
+  // needs the emitted ids to feed the histogram; reused across batches so
+  // the steady state allocates nothing.
+  Stream batch_scratch_;
 };
 
 }  // namespace unisamp

@@ -99,7 +99,9 @@ ConservativeCountMinSketch::ConservativeCountMinSketch(
     : width_(params.width),
       depth_(params.depth),
       hashes_(params.depth, params.width, params.seed),
-      table_(params.width * params.depth, 0) {
+      table_(params.width * params.depth, 0),
+      min_multiplicity_(params.width * params.depth),
+      cells_(params.depth, 0) {
   if (width_ == 0 || depth_ == 0)
     throw std::invalid_argument("sketch dimensions must be positive");
 }
@@ -107,12 +109,26 @@ ConservativeCountMinSketch::ConservativeCountMinSketch(
 void ConservativeCountMinSketch::update(std::uint64_t item,
                                         std::uint64_t count) {
   const std::uint64_t mixed = SplitMix64::mix(item);
-  const std::uint64_t target = estimate(item) + count;
+  // Pass 1: hash each row once, remembering the cell, and read the current
+  // estimate (the row minimum the conservative rule raises everything to).
+  std::uint64_t est = std::numeric_limits<std::uint64_t>::max();
   for (std::size_t row = 0; row < depth_; ++row) {
-    std::uint64_t& cell = table_[row * width_ + hashes_(row, mixed)];
-    cell = std::max(cell, target);
+    cells_[row] = row * width_ + hashes_(row, mixed);
+    est = std::min(est, table_[cells_[row]]);
+  }
+  // Pass 2: raise the lagging cells, tracking the global minimum exactly as
+  // CountMinSketch::update does (amortized O(1): the full rescan happens
+  // only when the last minimal cell leaves the minimum).
+  const std::uint64_t target = est + count;
+  for (std::size_t row = 0; row < depth_; ++row) {
+    std::uint64_t& cell = table_[cells_[row]];
+    if (cell < target) {
+      if (cell == min_counter_) --min_multiplicity_;
+      cell = target;
+    }
   }
   total_ += count;
+  if (min_multiplicity_ == 0) recompute_min();
 }
 
 std::uint64_t ConservativeCountMinSketch::estimate(std::uint64_t item) const {
@@ -123,10 +139,13 @@ std::uint64_t ConservativeCountMinSketch::estimate(std::uint64_t item) const {
   return best;
 }
 
-std::uint64_t ConservativeCountMinSketch::min_counter() const {
+void ConservativeCountMinSketch::recompute_min() {
   std::uint64_t m = std::numeric_limits<std::uint64_t>::max();
   for (std::uint64_t v : table_) m = std::min(m, v);
-  return m;
+  min_counter_ = m;
+  min_multiplicity_ = 0;
+  for (std::uint64_t v : table_)
+    if (v == m) ++min_multiplicity_;
 }
 
 }  // namespace unisamp

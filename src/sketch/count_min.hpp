@@ -108,17 +108,33 @@ class ConservativeCountMinSketch {
 
   void update(std::uint64_t item, std::uint64_t count = 1);
   std::uint64_t estimate(std::uint64_t item) const;
-  std::uint64_t min_counter() const;
+  /// min_sigma over the whole matrix.  O(1): maintained incrementally the
+  /// same way CountMinSketch does (conservative update never decreases a
+  /// counter, so the minimum is monotone and a multiplicity count suffices).
+  std::uint64_t min_counter() const { return min_counter_; }
   std::uint64_t total_count() const { return total_; }
   std::size_t width() const { return width_; }
   std::size_t depth() const { return depth_; }
 
+  /// Direct row access for white-box tests.
+  std::uint64_t counter_at(std::size_t row, std::size_t col) const {
+    return table_[row * width_ + col];
+  }
+
  private:
+  void recompute_min();
+
   std::size_t width_;
   std::size_t depth_;
   TwoUniversalFamily hashes_;
   std::vector<std::uint64_t> table_;
   std::uint64_t total_ = 0;
+  std::uint64_t min_counter_ = 0;
+  // Counters currently equal to min_counter_ (see CountMinSketch).
+  std::size_t min_multiplicity_;
+  // Per-update scratch: the cell index the item maps to in each row, so the
+  // conservative read-then-raise pass hashes once instead of twice.
+  std::vector<std::size_t> cells_;
 };
 
 }  // namespace unisamp

@@ -1,0 +1,135 @@
+// Differential tests for the incremental min_sigma tracking of both sketch
+// variants: after ANY sequence of operations, the O(1) min_counter() must
+// equal a full-table rescan, and the conservative fused update (hash once,
+// read-then-raise) must leave the table bit-identical to the textbook
+// two-pass formulation.
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hash/two_universal.hpp"
+#include "sketch/count_min.hpp"
+#include "util/rng.hpp"
+
+namespace unisamp {
+namespace {
+
+template <typename SketchT>
+std::uint64_t full_scan_min(const SketchT& sketch) {
+  std::uint64_t m = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t row = 0; row < sketch.depth(); ++row)
+    for (std::size_t col = 0; col < sketch.width(); ++col)
+      m = std::min(m, sketch.counter_at(row, col));
+  return m;
+}
+
+// Textbook conservative-update sketch (Estan & Varghese): estimate, then
+// raise every lagging cell to estimate+count.  Shares the hash family with
+// the production class via the same CountMinParams seed.
+class ReferenceConservative {
+ public:
+  explicit ReferenceConservative(const CountMinParams& params)
+      : width_(params.width),
+        depth_(params.depth),
+        hashes_(params.depth, params.width, params.seed),
+        table_(params.width * params.depth, 0) {}
+
+  void update(std::uint64_t item, std::uint64_t count) {
+    const std::uint64_t mixed = SplitMix64::mix(item);
+    std::uint64_t est = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t row = 0; row < depth_; ++row)
+      est = std::min(est, table_[row * width_ + hashes_(row, mixed)]);
+    const std::uint64_t target = est + count;
+    for (std::size_t row = 0; row < depth_; ++row) {
+      std::uint64_t& cell = table_[row * width_ + hashes_(row, mixed)];
+      cell = std::max(cell, target);
+    }
+  }
+
+  std::uint64_t at(std::size_t row, std::size_t col) const {
+    return table_[row * width_ + col];
+  }
+
+ private:
+  std::size_t width_;
+  std::size_t depth_;
+  TwoUniversalFamily hashes_;
+  std::vector<std::uint64_t> table_;
+};
+
+TEST(SketchMinTracking, CountMinRandomizedUpdatesMatchFullScan) {
+  const auto params = CountMinParams::from_dimensions(16, 4, 99);
+  CountMinSketch sketch(params);
+  Xoshiro256 rng(7);
+  EXPECT_EQ(sketch.min_counter(), 0u);
+  for (int i = 0; i < 5000; ++i) {
+    // Narrow id range so every counter actually fills and the minimum moves.
+    sketch.update(rng.next_below(200), 1 + rng.next_below(3));
+    ASSERT_EQ(sketch.min_counter(), full_scan_min(sketch)) << "after " << i;
+  }
+}
+
+TEST(SketchMinTracking, CountMinMergeAndHalveMatchFullScan) {
+  const auto params = CountMinParams::from_dimensions(12, 3, 42);
+  CountMinSketch a(params);
+  CountMinSketch b(params);
+  Xoshiro256 rng(11);
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      a.update(rng.next_below(150));
+      b.update(rng.next_below(150), 1 + rng.next_below(2));
+    }
+    if (round % 3 == 0) a.merge(b);
+    if (round % 7 == 0) a.halve();
+    ASSERT_EQ(a.min_counter(), full_scan_min(a)) << "round " << round;
+    ASSERT_EQ(b.min_counter(), full_scan_min(b)) << "round " << round;
+  }
+}
+
+TEST(SketchMinTracking, ConservativeRandomizedUpdatesMatchFullScan) {
+  const auto params = CountMinParams::from_dimensions(16, 4, 99);
+  ConservativeCountMinSketch sketch(params);
+  Xoshiro256 rng(13);
+  EXPECT_EQ(sketch.min_counter(), 0u);
+  for (int i = 0; i < 5000; ++i) {
+    sketch.update(rng.next_below(200), 1 + rng.next_below(3));
+    ASSERT_EQ(sketch.min_counter(), full_scan_min(sketch)) << "after " << i;
+  }
+}
+
+TEST(SketchMinTracking, ConservativeFusedUpdateMatchesReferenceTable) {
+  const auto params = CountMinParams::from_dimensions(20, 5, 7);
+  ConservativeCountMinSketch sketch(params);
+  ReferenceConservative reference(params);
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t item = rng.next_below(300);
+    const std::uint64_t count = 1 + rng.next_below(4);
+    sketch.update(item, count);
+    reference.update(item, count);
+  }
+  for (std::size_t row = 0; row < sketch.depth(); ++row)
+    for (std::size_t col = 0; col < sketch.width(); ++col)
+      ASSERT_EQ(sketch.counter_at(row, col), reference.at(row, col))
+          << "cell (" << row << ", " << col << ")";
+}
+
+TEST(SketchMinTracking, ConservativeMinStartsAtZeroUntilTableFills) {
+  // While any counter is zero, min_sigma must stay 0 (the flooding-attack
+  // lever of Sec. V-B) — the incremental tracker must not skip that phase.
+  const auto params = CountMinParams::from_dimensions(8, 2, 3);
+  ConservativeCountMinSketch sketch(params);
+  std::uint64_t item = 0;
+  while (full_scan_min(sketch) == 0) {
+    ASSERT_EQ(sketch.min_counter(), 0u);
+    sketch.update(item++);
+    ASSERT_LT(item, 10000u) << "table never filled";
+  }
+  EXPECT_GT(sketch.min_counter(), 0u);
+}
+
+}  // namespace
+}  // namespace unisamp

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Compare a unisamp-bench-v1 JSON report against a committed baseline.
+
+Usage:
+    check_bench_regression.py BASELINE.json CURRENT.json [--threshold=0.30]
+
+For every scenario present in both reports the median ns/op is compared.
+A scenario REGRESSES when its median slows down by more than the threshold
+AND more than the run-to-run noise recorded in the current report (3 sigma
+of its per-repetition samples), so a jittery CI runner does not cry wolf.
+Checksums are compared whenever both runs did identical work (same items
+and seed) — a mismatch there means behaviour changed, not just speed.
+
+Exit status: 0 = clean, 1 = at least one regression, checksum change, or
+baseline scenario missing from the current run, 2 = bad input.
+The CI bench-smoke job runs this as a non-blocking report step: absolute
+numbers from a shared runner are noisy against a baseline recorded on the
+reference machine, so the verdict informs rather than gates.
+"""
+
+import json
+import sys
+
+
+def bad_input(message):
+    print(message, file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        bad_input(f"error: cannot read {path}: {e}")
+    if doc.get("schema") != "unisamp-bench-v1":
+        bad_input(f"error: {path} is not a unisamp-bench-v1 report "
+                  f"(schema={doc.get('schema')!r})")
+    return doc
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    opts = [a for a in argv[1:] if a.startswith("--")]
+    if len(args) != 2:
+        bad_input(__doc__.strip())
+    threshold = 0.30
+    for opt in opts:
+        if opt.startswith("--threshold="):
+            threshold = float(opt.split("=", 1)[1])
+        else:
+            bad_input(f"unknown option {opt}")
+
+    baseline, current = load(args[0]), load(args[1])
+    base_by_name = {s["name"]: s for s in baseline["scenarios"]}
+    cur_scenarios = current["scenarios"]
+
+    same_work = (baseline.get("seed") == current.get("seed")
+                 and baseline.get("quick") == current.get("quick"))
+
+    regressions, behaviour_changes = [], []
+    width = max((len(s["name"]) for s in cur_scenarios), default=20)
+    print(f"{'scenario':<{width}}  {'base ns/op':>12}  {'cur ns/op':>12}  "
+          f"{'delta':>8}  verdict")
+    for cur in cur_scenarios:
+        base = base_by_name.get(cur["name"])
+        if base is None:
+            print(f"{cur['name']:<{width}}  {'-':>12}  "
+                  f"{cur['ns_per_op']['median']:>12.1f}  {'-':>8}  NEW")
+            continue
+        b, c = base["ns_per_op"]["median"], cur["ns_per_op"]["median"]
+        delta = (c - b) / b if b > 0 else 0.0
+        # Tolerance: the configured threshold, widened to 3 sigma of the
+        # current run when its repetitions are noisier than that.
+        noise = 3 * cur["ns_per_op"]["stddev"] / c if c > 0 else 0.0
+        tolerance = max(threshold, noise)
+        if delta > tolerance:
+            verdict = "REGRESSION"
+            regressions.append(cur["name"])
+        elif delta < -threshold:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        if (same_work and base["items"] == cur["items"]
+                and base["checksum"] != cur["checksum"]):
+            verdict += " (checksum changed)"
+            behaviour_changes.append(cur["name"])
+        print(f"{cur['name']:<{width}}  {b:>12.1f}  {c:>12.1f}  "
+              f"{delta:>+7.1%}  {verdict}")
+
+    # A filtered current run legitimately covers fewer scenarios; a FULL run
+    # missing a baseline scenario means it silently fell out of perf
+    # tracking (renamed/dropped without refreshing the baseline) — fail.
+    missing = sorted(set(base_by_name) - {s["name"] for s in cur_scenarios})
+    for name in missing:
+        print(f"{name:<{width}}  {'(missing from current run)':>12}")
+
+    if behaviour_changes:
+        # Behaviour drift is strictly more alarming than a slowdown: same
+        # work, same seed, different output.  It must fail the check too.
+        print(f"\nbehaviour changed (checksum): {', '.join(behaviour_changes)}")
+    if regressions:
+        print(f"\n{len(regressions)} regression(s): {', '.join(regressions)}")
+    if missing:
+        print(f"\n{len(missing)} scenario(s) missing from current run: "
+              f"{', '.join(missing)}")
+    if regressions or behaviour_changes or missing:
+        return 1
+    print("\nno regressions beyond tolerance "
+          f"(threshold {threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
