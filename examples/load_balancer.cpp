@@ -9,7 +9,10 @@
 // advertisements) funnels most jobs to them.  The same dispatcher using the
 // knowledge-free sampling service spreads jobs near-uniformly over honest
 // workers, keeping the per-worker load and the attacker's job capture low.
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "baseline/reservoir_sampler.hpp"

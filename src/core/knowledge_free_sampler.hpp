@@ -22,16 +22,29 @@
 #include <cstdint>
 #include <stdexcept>
 #include <string_view>
-#include <unordered_set>
 #include <vector>
 
 #include "core/sampler.hpp"
 #include "sketch/count_min.hpp"
 #include "sketch/decaying.hpp"
+#include "util/flat_set.hpp"
 #include "util/rng.hpp"
 
 namespace unisamp {
 
+/// Knowledge-free sampling strategy over a pluggable Count-Min-style sketch
+/// (any type exposing update_and_estimate / estimate / min_counter).
+///
+/// Contracts:
+///  - Complexity: process / process_stream are O(s) per id (one fused
+///    sketch pass) plus O(1) expected membership/eviction work; sample() is
+///    O(1).
+///  - Determinism: output is a pure function of (c, sketch params, seed,
+///    input sequence).  process_stream is bit-identical to calling
+///    process() per id — same emitted ids, same RNG consumption.
+///  - Thread-safety: none; one sampler serves one node's stream under
+///    external exclusion.  Concurrent const access (memory(), sketch()) is
+///    safe only while no mutating call runs.
 template <typename Sketch>
 class BasicKnowledgeFreeSampler final : public NodeSampler {
  public:
@@ -43,7 +56,7 @@ class BasicKnowledgeFreeSampler final : public NodeSampler {
   /// Takes a pre-built sketch — needed for sketch variants with extra
   /// construction parameters (e.g. the decaying sketch's half-life).
   BasicKnowledgeFreeSampler(std::size_t c, Sketch sketch, std::uint64_t seed)
-      : c_(c), sketch_(std::move(sketch)), rng_(seed) {
+      : c_(c), sketch_(std::move(sketch)), members_(c), rng_(seed) {
     if (c_ == 0)
       throw std::invalid_argument("memory capacity must be positive");
     gamma_.reserve(c_);
@@ -82,9 +95,11 @@ class BasicKnowledgeFreeSampler final : public NodeSampler {
 
  private:
   NodeId process_one(NodeId id) {
-    // cobegin: Algorithm 2 reads the same element first.
-    sketch_.update(id);
-    const std::uint64_t f_hat = sketch_.estimate(id);
+    // cobegin: Algorithm 2 reads the same element first.  The fused
+    // primitive hashes the s rows once and reuses the row indices for the
+    // estimate read — bit-identical to update(id) then estimate(id), at
+    // half the hashing cost (the dominant term of this hot path).
+    const std::uint64_t f_hat = sketch_.update_and_estimate(id);
     const std::uint64_t min_sigma = sketch_.min_counter();
     if (!contains(id)) {
       if (gamma_.size() < c_) {
@@ -110,10 +125,11 @@ class BasicKnowledgeFreeSampler final : public NodeSampler {
 
   std::size_t c_;
   Sketch sketch_;
-  // Vector for O(1) uniform picks, hash set for O(1) membership: the
-  // evaluation sweeps run c up to ~10^3 over multi-million-id streams.
+  // Vector for O(1) uniform picks, flat probing set for O(1) membership
+  // (one contains() per stream item): the evaluation sweeps run c up to
+  // ~10^3 over multi-million-id streams.
   std::vector<NodeId> gamma_;
-  std::unordered_set<NodeId> members_;
+  FlatIdSet members_;
   Xoshiro256 rng_;
 };
 

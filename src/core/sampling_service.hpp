@@ -46,6 +46,17 @@ struct ServiceConfig {
 /// Builds a bare sampler from a config (no recording facade).
 std::unique_ptr<NodeSampler> make_sampler(const ServiceConfig& config);
 
+/// Per-node sampling facade: strategy + output recording + histogram.
+///
+/// Contracts:
+///  - Complexity: on_receive / on_receive_stream cost O(sketch depth) per
+///    id for the sketch-based strategies, O(1) expected for omniscient,
+///    plus O(1) expected histogram accounting per emitted id.
+///  - Determinism: all observable state (output stream, histogram,
+///    processed count, sample() draws) is a pure function of (config, the
+///    sequence of ids fed), independent of how the feed is batched.
+///  - Thread-safety: none; one service serves one node under external
+///    exclusion.
 class SamplingService {
  public:
   explicit SamplingService(ServiceConfig config);
@@ -57,6 +68,9 @@ class SamplingService {
   /// Feeds a whole stream.  Bit-identical to calling on_receive per id but
   /// takes the batched fast path: one virtual dispatch into the sampler for
   /// the whole span and histogram bookkeeping hoisted out of the item loop.
+  /// If the sampler throws mid-batch, ids emitted before the failure are
+  /// fully accounted (output, histogram, processed) and the rest dropped —
+  /// the same state the per-item loop would leave.
   void on_receive_stream(std::span<const NodeId> ids);
 
   /// S_i(t).  nullopt before the first id arrives.

@@ -1,14 +1,22 @@
 #include "hash/two_universal.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 namespace unisamp {
+
+namespace {
+std::uint64_t reciprocal_magic(std::uint64_t range) {
+  return std::numeric_limits<std::uint64_t>::max() / range;
+}
+}  // namespace
 
 TwoUniversalHash::TwoUniversalHash(std::uint64_t range, Xoshiro256& rng)
     : range_(range),
       a_(1 + rng.next_below(kMersennePrime - 1)),
       b_(rng.next_below(kMersennePrime)) {
   if (range == 0) throw std::invalid_argument("hash range must be positive");
+  magic_ = reciprocal_magic(range);
 }
 
 TwoUniversalHash::TwoUniversalHash(std::uint64_t range, std::uint64_t a,
@@ -16,6 +24,7 @@ TwoUniversalHash::TwoUniversalHash(std::uint64_t range, std::uint64_t a,
     : range_(range), a_(a % kMersennePrime), b_(b % kMersennePrime) {
   if (range == 0) throw std::invalid_argument("hash range must be positive");
   if (a_ == 0) a_ = 1;
+  magic_ = reciprocal_magic(range);
 }
 
 TwoUniversalFamily::TwoUniversalFamily(std::size_t count, std::uint64_t range,

@@ -27,7 +27,18 @@ class TwoUniversalHash {
   TwoUniversalHash(std::uint64_t range, std::uint64_t a, std::uint64_t b);
 
   std::uint64_t operator()(std::uint64_t x) const noexcept {
-    return mod_mersenne(mul_mod(a_, mod_mersenne(x)) + b_) % range_;
+    return apply_reduced(reduce(x));
+  }
+
+  /// x mod p, exposed so callers evaluating a whole bank of hashes on ONE
+  /// x (Count-Min's row loop) can reduce once and reuse the result.
+  static std::uint64_t reduce(std::uint64_t x) noexcept {
+    return mod_mersenne(x);
+  }
+
+  /// operator() with the input already reduced mod p (see reduce()).
+  std::uint64_t apply_reduced(std::uint64_t x_mod_p) const noexcept {
+    return fast_mod_range(mod_mersenne(mul_mod(a_, x_mod_p) + b_));
   }
 
   std::uint64_t range() const noexcept { return range_; }
@@ -39,6 +50,19 @@ class TwoUniversalHash {
   static std::uint64_t mod_mersenne(std::uint64_t x) noexcept {
     std::uint64_t r = (x & kMersennePrime) + (x >> 61);
     if (r >= kMersennePrime) r -= kMersennePrime;
+    return r;
+  }
+
+  // n % range_ without a hardware divide: multiply by the precomputed
+  // reciprocal magic_ = floor((2^64-1)/range_) to get a quotient that is
+  // exact or one low (for n < 2^62 the truncation error is < 1/4), then
+  // one conditional subtract fixes the remainder.  Bit-identical to the
+  // division for every n this class produces (n < p < 2^61).
+  std::uint64_t fast_mod_range(std::uint64_t n) const noexcept {
+    const std::uint64_t q = static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(n) * magic_) >> 64);
+    std::uint64_t r = n - q * range_;
+    if (r >= range_) r -= range_;
     return r;
   }
   static std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b) noexcept {
@@ -53,6 +77,7 @@ class TwoUniversalHash {
   std::uint64_t range_;
   std::uint64_t a_;
   std::uint64_t b_;
+  std::uint64_t magic_;  ///< floor((2^64-1)/range_), for fast_mod_range
 };
 
 /// A bank of s independent members of the family, as Count-Min needs one
@@ -64,6 +89,16 @@ class TwoUniversalFamily {
 
   std::uint64_t operator()(std::size_t index, std::uint64_t x) const noexcept {
     return hashes_[index](x);
+  }
+
+  /// One-x-many-rows evaluation: reduce(x) once, then apply_reduced per
+  /// row — the Count-Min inner loop (hashing dominates its hot path).
+  static std::uint64_t reduce(std::uint64_t x) noexcept {
+    return TwoUniversalHash::reduce(x);
+  }
+  std::uint64_t apply_reduced(std::size_t index,
+                              std::uint64_t x_mod_p) const noexcept {
+    return hashes_[index].apply_reduced(x_mod_p);
   }
 
   std::size_t size() const noexcept { return hashes_.size(); }

@@ -40,11 +40,31 @@ void GossipNetwork::remember(NodeState& state, NodeId id) {
 void GossipNetwork::deliver(std::size_t to, NodeId id) {
   if (!active_[to]) return;
   NodeState& state = nodes_[to];
+  // Knowledge caches update eagerly at delivery time — later senders in the
+  // SAME round read them, so deferring this would change what gets gossiped.
   remember(state, id);
   if (state.service) {
-    state.service->on_receive(id);
+    // The service feed is deferred: ids accumulate in per-node order and
+    // flush once per round through the batched on_receive_stream path.
+    state.pending.push_back(id);
     if (config_.record_inputs) state.input.push_back(id);
     ++delivered_;
+  }
+}
+
+void GossipNetwork::flush_round_deliveries() {
+  try {
+    for (NodeState& state : nodes_) {
+      if (!state.service || state.pending.empty()) continue;
+      state.service->on_receive_stream(state.pending);
+      state.pending.clear();
+    }
+  } catch (...) {
+    // A throwing service (e.g. an omniscient sampler fed a forged id) must
+    // not replay this round's ids on a later flush — neither its own nor
+    // those of nodes the loop had not reached yet.
+    for (NodeState& state : nodes_) state.pending.clear();
+    throw;
   }
 }
 
@@ -84,6 +104,7 @@ void GossipNetwork::run_round() {
       }
     }
   }
+  flush_round_deliveries();
   ++rounds_;
 }
 

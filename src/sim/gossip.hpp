@@ -39,6 +39,28 @@ struct GossipConfig {
   bool record_inputs = false;        ///< keep each correct node's input stream
 };
 
+/// Synchronous gossip simulator.
+///
+/// Contracts:
+///  - Determinism: the full network evolution is a pure function of
+///    (topology, configs, seed) — message order, per-node streams, and
+///    every service's state replay bit-identically across runs/machines.
+///  - Delivery batching: within run_round(), ids destined for a node are
+///    buffered and flushed ONCE per round through
+///    SamplingService::on_receive_stream (the batched fast path).  This is
+///    bit-identical to per-id delivery: per-node delivery order is
+///    preserved, services are independent (per-node RNGs), and the network
+///    RNG / knowledge caches are updated eagerly at send time, so what is
+///    sent never depends on the flush.  delivered(), recorded input
+///    streams, and sample_correct_nodes() observe the same values either
+///    way.  Caveat: if a service THROWS during the flush (only possible
+///    with an omniscient sampler fed an out-of-population id), delivered()
+///    and the recorded inputs already count the whole round's buffered
+///    ids, some of which never reached a sampler; the failed round's
+///    buffers are dropped, never replayed.
+///  - Complexity: run_round() is O(active nodes * degree * fanout) ids,
+///    each costing O(sketch depth) in the destination's sampler.
+///  - Thread-safety: none; drive a network from one thread.
 class GossipNetwork {
  public:
   /// One sampling service per correct node, configured from
@@ -85,10 +107,14 @@ class GossipNetwork {
     std::size_t next_slot = 0;
     std::unique_ptr<SamplingService> service;  // null for byzantine nodes
     Stream input;  // recorded deliveries (only when record_inputs)
+    // This round's buffered deliveries, flushed once per round through the
+    // service's batched ingest path; capacity is reused across rounds.
+    Stream pending;
   };
 
   void deliver(std::size_t to, NodeId id);
   void remember(NodeState& state, NodeId id);
+  void flush_round_deliveries();
 
   Topology topology_;
   GossipConfig config_;

@@ -49,25 +49,37 @@ CountMinSketch::CountMinSketch(const CountMinParams& params)
 }
 
 void CountMinSketch::update(std::uint64_t item, std::uint64_t count) {
-  const std::uint64_t mixed = SplitMix64::mix(item);
-  // Each row maps the item to a distinct cell, so we can adjust the
-  // multiplicity of the global minimum cell-by-cell and recompute the
-  // minimum only when the last minimal cell was raised (rare: amortized
-  // O(1) over a stream, O(k*s) worst case).
+  (void)update_and_estimate(item, count);
+}
+
+std::uint64_t CountMinSketch::update_and_estimate(std::uint64_t item,
+                                                  std::uint64_t count) {
+  // One Mersenne reduction per item, shared by all rows (see
+  // TwoUniversalFamily::reduce).
+  const std::uint64_t mixed = TwoUniversalFamily::reduce(SplitMix64::mix(item));
+  // Single pass: each row hashes once, and the post-increment cell value
+  // feeds the estimate directly — the separate estimate() call would hash
+  // the same s rows again to read back exactly these cells.  Each row maps
+  // the item to a distinct cell, so the multiplicity of the global minimum
+  // adjusts cell-by-cell and the full rescan happens only when the last
+  // minimal cell was raised (rare: amortized O(1) over a stream).
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
   for (std::size_t row = 0; row < depth_; ++row) {
-    std::uint64_t& cell = table_[row * width_ + hashes_(row, mixed)];
+    std::uint64_t& cell = table_[row * width_ + hashes_.apply_reduced(row, mixed)];
     if (cell == min_counter_) --min_multiplicity_;
     cell += count;
+    best = std::min(best, cell);
   }
   total_ += count;
   if (min_multiplicity_ == 0) recompute_min();
+  return best;
 }
 
 std::uint64_t CountMinSketch::estimate(std::uint64_t item) const {
-  const std::uint64_t mixed = SplitMix64::mix(item);
+  const std::uint64_t mixed = TwoUniversalFamily::reduce(SplitMix64::mix(item));
   std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
   for (std::size_t row = 0; row < depth_; ++row)
-    best = std::min(best, table_[row * width_ + hashes_(row, mixed)]);
+    best = std::min(best, table_[row * width_ + hashes_.apply_reduced(row, mixed)]);
   return best;
 }
 
@@ -108,12 +120,17 @@ ConservativeCountMinSketch::ConservativeCountMinSketch(
 
 void ConservativeCountMinSketch::update(std::uint64_t item,
                                         std::uint64_t count) {
-  const std::uint64_t mixed = SplitMix64::mix(item);
+  (void)update_and_estimate(item, count);
+}
+
+std::uint64_t ConservativeCountMinSketch::update_and_estimate(
+    std::uint64_t item, std::uint64_t count) {
+  const std::uint64_t mixed = TwoUniversalFamily::reduce(SplitMix64::mix(item));
   // Pass 1: hash each row once, remembering the cell, and read the current
   // estimate (the row minimum the conservative rule raises everything to).
   std::uint64_t est = std::numeric_limits<std::uint64_t>::max();
   for (std::size_t row = 0; row < depth_; ++row) {
-    cells_[row] = row * width_ + hashes_(row, mixed);
+    cells_[row] = row * width_ + hashes_.apply_reduced(row, mixed);
     est = std::min(est, table_[cells_[row]]);
   }
   // Pass 2: raise the lagging cells, tracking the global minimum exactly as
@@ -129,13 +146,17 @@ void ConservativeCountMinSketch::update(std::uint64_t item,
   }
   total_ += count;
   if (min_multiplicity_ == 0) recompute_min();
+  // After the raise, every cell the item maps to is >= target and at least
+  // one (a former minimum) equals it, so the post-update point estimate is
+  // exactly `target` — no second read pass needed.
+  return target;
 }
 
 std::uint64_t ConservativeCountMinSketch::estimate(std::uint64_t item) const {
-  const std::uint64_t mixed = SplitMix64::mix(item);
+  const std::uint64_t mixed = TwoUniversalFamily::reduce(SplitMix64::mix(item));
   std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
   for (std::size_t row = 0; row < depth_; ++row)
-    best = std::min(best, table_[row * width_ + hashes_(row, mixed)]);
+    best = std::min(best, table_[row * width_ + hashes_.apply_reduced(row, mixed)]);
   return best;
 }
 

@@ -47,6 +47,16 @@ struct CountMinParams {
 };
 
 /// Streaming Count-Min sketch.
+///
+/// Contracts shared by every member:
+///  - Complexity: update / estimate / update_and_estimate are O(s) in the
+///    row count (one 2-universal hash evaluation per row); min_counter and
+///    total_count are O(1); merge / halve are O(k*s).
+///  - Determinism: all state is a pure function of (params, the sequence of
+///    mutating calls).  Two sketches built with the same params/seed and fed
+///    the same call sequence are bit-identical, on any machine.
+///  - Thread-safety: no internal synchronisation.  Concurrent const access
+///    is safe; any mutating call requires external exclusion.
 class CountMinSketch {
  public:
   explicit CountMinSketch(const CountMinParams& params);
@@ -57,6 +67,15 @@ class CountMinSketch {
   /// f̂_item = min over rows of the counter item maps to.  Never
   /// underestimates the true frequency.
   std::uint64_t estimate(std::uint64_t item) const;
+
+  /// Fused update(item, count) followed by estimate(item), hashing the s
+  /// rows ONCE and reusing the row indices for the estimate read — the
+  /// knowledge-free sampler's hot path (Algorithm 3 updates the sketch and
+  /// immediately reads f̂ for the same id).  Bit-identical to the two-call
+  /// sequence: returns min over rows of the POST-increment counters and
+  /// leaves the sketch in exactly the state update() would.
+  std::uint64_t update_and_estimate(std::uint64_t item,
+                                    std::uint64_t count = 1);
 
   /// min_sigma: minimum counter value over the whole matrix (line 6 of
   /// Algorithm 3).  O(1): maintained incrementally.
@@ -102,12 +121,23 @@ class CountMinSketch {
 /// equal to the current estimate are incremented.  Strictly tighter
 /// estimates than plain Count-Min for point queries; used as an ablation of
 /// the knowledge-free sampler's frequency oracle.
+///
+/// Same complexity / determinism / thread-safety contracts as
+/// CountMinSketch (O(s) updates and point reads, bit-deterministic from
+/// (params, call sequence), const-safe only).
 class ConservativeCountMinSketch {
  public:
   explicit ConservativeCountMinSketch(const CountMinParams& params);
 
   void update(std::uint64_t item, std::uint64_t count = 1);
   std::uint64_t estimate(std::uint64_t item) const;
+
+  /// Fused update + estimate (see CountMinSketch::update_and_estimate).
+  /// The conservative rule raises every lagging cell to est+count, so the
+  /// post-update estimate is exactly est+count — returned without a second
+  /// read pass, bit-identical to update() then estimate().
+  std::uint64_t update_and_estimate(std::uint64_t item,
+                                    std::uint64_t count = 1);
   /// min_sigma over the whole matrix.  O(1): maintained incrementally the
   /// same way CountMinSketch does (conservative update never decreases a
   /// counter, so the minimum is monotone and a multiplicity count suffices).

@@ -17,6 +17,19 @@ void DecayingCountMinSketch::update(std::uint64_t item, std::uint64_t count) {
   if (since_decay_ >= half_life_) decay();
 }
 
+std::uint64_t DecayingCountMinSketch::update_and_estimate(std::uint64_t item,
+                                                          std::uint64_t count) {
+  std::uint64_t est = inner_.update_and_estimate(item, count);
+  since_decay_ += count;
+  if (since_decay_ >= half_life_) {
+    // Rare slow path: the halving invalidates the fused read, so re-read
+    // the (decayed) estimate to stay bit-identical to update();estimate().
+    decay();
+    est = inner_.estimate(item);
+  }
+  return est;
+}
+
 std::uint64_t DecayingCountMinSketch::estimate(std::uint64_t item) const {
   return inner_.estimate(item);
 }

@@ -30,6 +30,12 @@ class DecayingCountMinSketch {
 
   void update(std::uint64_t item, std::uint64_t count = 1);
   std::uint64_t estimate(std::uint64_t item) const;
+  /// Fused update + estimate, bit-identical to the two-call sequence
+  /// (including across a decay boundary: when this update triggers the
+  /// halving, the returned estimate reads the halved counters, exactly as
+  /// a separate estimate() call after update() would).
+  std::uint64_t update_and_estimate(std::uint64_t item,
+                                    std::uint64_t count = 1);
   std::uint64_t min_counter() const;
   std::uint64_t total_count() const { return inner_.total_count(); }
   std::size_t width() const { return inner_.width(); }

@@ -1,0 +1,200 @@
+// Differential contract of the fused single-hash hot path: for every sketch
+// variant, update_and_estimate(j) must return exactly what update(j) followed
+// by estimate(j) returns AND leave the sketch in a bit-identical state —
+// over uniform, skewed, and adversarial (targeted / flooding) streams.  On
+// top of that, the knowledge-free sampler rebuilt on the fused primitive is
+// replayed against an in-test two-pass reference implementation of
+// Algorithm 3 (separate update + estimate calls, same RNG discipline) to
+// prove the fusion never changes an emitted id or a consumed coin.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adversary/attacks.hpp"
+#include "core/knowledge_free_sampler.hpp"
+#include "sketch/count_min.hpp"
+#include "sketch/decaying.hpp"
+#include "stream/generators.hpp"
+#include "util/rng.hpp"
+
+namespace unisamp {
+namespace {
+
+constexpr std::size_t kDomain = 200;
+
+Stream uniform_stream(std::size_t m, std::uint64_t seed) {
+  Stream s;
+  s.reserve(m);
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < m; ++i)
+    s.push_back(rng.next() % kDomain);
+  return s;
+}
+
+Stream zipf_stream(std::size_t m, std::uint64_t seed) {
+  WeightedStreamGenerator gen(zipf_weights(kDomain, 1.4), seed);
+  return gen.take(m);
+}
+
+Stream targeted_stream(std::size_t m, std::uint64_t seed) {
+  const auto base = counts_from_weights(uniform_weights(kDomain), m / 2, 1);
+  return make_targeted_attack(base, 60, std::max<std::uint64_t>(m / 120, 1),
+                              seed)
+      .stream;
+}
+
+Stream flooding_stream(std::size_t m, std::uint64_t seed) {
+  const auto base = counts_from_weights(uniform_weights(kDomain), m / 2, 1);
+  return make_flooding_attack(base, 150, std::max<std::uint64_t>(m / 300, 1),
+                              seed)
+      .stream;
+}
+
+std::vector<Stream> all_streams() {
+  return {uniform_stream(30000, 11), zipf_stream(30000, 12),
+          targeted_stream(30000, 13), flooding_stream(30000, 14)};
+}
+
+// Runs `stream` through a fused sketch and a two-pass twin, asserting per
+// item that the fused return equals estimate-after-update, then that the
+// final observable state (probed estimates, min, total) agrees.
+template <typename Sketch>
+void expect_fused_matches_two_pass(Sketch fused, Sketch two_pass,
+                                   const Stream& stream) {
+  for (const NodeId id : stream) {
+    two_pass.update(id);
+    const std::uint64_t expected = two_pass.estimate(id);
+    ASSERT_EQ(fused.update_and_estimate(id), expected) << "id " << id;
+    ASSERT_EQ(fused.min_counter(), two_pass.min_counter());
+  }
+  EXPECT_EQ(fused.total_count(), two_pass.total_count());
+  // Probe the whole domain plus ids the sketch never saw.
+  for (NodeId id = 0; id < 2 * kDomain; ++id)
+    ASSERT_EQ(fused.estimate(id), two_pass.estimate(id)) << "probe " << id;
+}
+
+TEST(FusedUpdateEstimateTest, CountMinMatchesTwoPassOnAllStreamShapes) {
+  const auto params = CountMinParams::from_dimensions(10, 5, 42);
+  for (const Stream& s : all_streams())
+    expect_fused_matches_two_pass(CountMinSketch(params),
+                                  CountMinSketch(params), s);
+}
+
+TEST(FusedUpdateEstimateTest, ConservativeMatchesTwoPassOnAllStreamShapes) {
+  const auto params = CountMinParams::from_dimensions(10, 5, 42);
+  for (const Stream& s : all_streams())
+    expect_fused_matches_two_pass(ConservativeCountMinSketch(params),
+                                  ConservativeCountMinSketch(params), s);
+}
+
+TEST(FusedUpdateEstimateTest, DecayingMatchesTwoPassAcrossDecayBoundaries) {
+  const auto params = CountMinParams::from_dimensions(10, 5, 42);
+  // half_life 1000 over 30000-item streams: dozens of halvings, so the
+  // fused path's decay-boundary re-read is exercised many times.
+  for (const Stream& s : all_streams()) {
+    expect_fused_matches_two_pass(DecayingCountMinSketch(params, 1000),
+                                  DecayingCountMinSketch(params, 1000), s);
+  }
+}
+
+TEST(FusedUpdateEstimateTest, DecayTriggeredByFusedCallIsCounted) {
+  const auto params = CountMinParams::from_dimensions(8, 3, 7);
+  DecayingCountMinSketch sketch(params, 10);
+  for (int i = 0; i < 25; ++i) sketch.update_and_estimate(77);
+  EXPECT_EQ(sketch.decay_count(), 2u);
+}
+
+TEST(FusedUpdateEstimateTest, CountMinCountArgumentIsHonoured) {
+  const auto params = CountMinParams::from_dimensions(16, 4, 3);
+  CountMinSketch fused(params), two_pass(params);
+  SplitMix64 rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t id = rng.next() % 64;
+    const std::uint64_t count = 1 + rng.next() % 7;
+    two_pass.update(id, count);
+    ASSERT_EQ(fused.update_and_estimate(id, count), two_pass.estimate(id));
+  }
+  EXPECT_EQ(fused.total_count(), two_pass.total_count());
+}
+
+// --- sampler-level differential -------------------------------------------
+
+// Algorithm 3 exactly as the sampler implemented it before the fusion:
+// separate sketch update and estimate calls, same decision structure, same
+// RNG call order.  The production sampler must replay this bit-for-bit.
+template <typename Sketch>
+class TwoPassReferenceSampler {
+ public:
+  TwoPassReferenceSampler(std::size_t c, Sketch sketch, std::uint64_t seed)
+      : c_(c), sketch_(std::move(sketch)), rng_(seed) {}
+
+  NodeId process(NodeId id) {
+    sketch_.update(id);
+    const std::uint64_t f_hat = sketch_.estimate(id);
+    const std::uint64_t min_sigma = sketch_.min_counter();
+    if (std::find(gamma_.begin(), gamma_.end(), id) == gamma_.end()) {
+      if (gamma_.size() < c_) {
+        gamma_.push_back(id);
+      } else {
+        const double a_j = f_hat == 0 ? 0.0
+                                      : static_cast<double>(min_sigma) /
+                                            static_cast<double>(f_hat);
+        if (rng_.bernoulli(a_j)) gamma_[rng_.next_below(gamma_.size())] = id;
+      }
+    }
+    return gamma_[rng_.next_below(gamma_.size())];
+  }
+
+ private:
+  std::size_t c_;
+  Sketch sketch_;
+  std::vector<NodeId> gamma_;
+  Xoshiro256 rng_;
+};
+
+template <typename Sampler, typename Sketch>
+void expect_sampler_matches_reference(Sampler& sampler,
+                                      TwoPassReferenceSampler<Sketch>& ref,
+                                      const Stream& stream) {
+  Stream out;
+  sampler.process_stream(stream, out);
+  ASSERT_EQ(out.size(), stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i)
+    ASSERT_EQ(out[i], ref.process(stream[i])) << "position " << i;
+}
+
+TEST(FusedSamplerDifferentialTest, KnowledgeFreeEmitsTwoPassOutputs) {
+  const auto params = CountMinParams::from_dimensions(10, 5, 21);
+  for (const Stream& s : all_streams()) {
+    KnowledgeFreeSampler sampler(16, params, 31);
+    TwoPassReferenceSampler<CountMinSketch> ref(16, CountMinSketch(params),
+                                                31);
+    expect_sampler_matches_reference(sampler, ref, s);
+  }
+}
+
+TEST(FusedSamplerDifferentialTest, ConservativeEmitsTwoPassOutputs) {
+  const auto params = CountMinParams::from_dimensions(10, 5, 21);
+  for (const Stream& s : all_streams()) {
+    ConservativeKnowledgeFreeSampler sampler(16, params, 31);
+    TwoPassReferenceSampler<ConservativeCountMinSketch> ref(
+        16, ConservativeCountMinSketch(params), 31);
+    expect_sampler_matches_reference(sampler, ref, s);
+  }
+}
+
+TEST(FusedSamplerDifferentialTest, DecayingEmitsTwoPassOutputs) {
+  const auto params = CountMinParams::from_dimensions(10, 5, 21);
+  for (const Stream& s : all_streams()) {
+    DecayingKnowledgeFreeSampler sampler(
+        16, DecayingCountMinSketch(params, 1000), 31);
+    TwoPassReferenceSampler<DecayingCountMinSketch> ref(
+        16, DecayingCountMinSketch(params, 1000), 31);
+    expect_sampler_matches_reference(sampler, ref, s);
+  }
+}
+
+}  // namespace
+}  // namespace unisamp

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "util/csv.hpp"
+#include "util/flat_set.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -192,6 +193,46 @@ TEST(Stats, NormalizedHistogramSumsToOne) {
   EXPECT_NEAR(h[1], 2.0 / 6.0, 1e-12);
   EXPECT_NEAR(h[2], 3.0 / 6.0, 1e-12);
   EXPECT_DOUBLE_EQ(h[3], 0.0);
+}
+
+TEST(FlatIdSet, MatchesReferenceSetUnderRandomChurn) {
+  // Random insert/erase/contains churn, checked against std::set — covers
+  // collision runs, wraparound, and backward-shift deletion.
+  FlatIdSet set(32);
+  std::set<std::uint64_t> ref;
+  SplitMix64 rng(7);
+  for (int op = 0; op < 50000; ++op) {
+    const std::uint64_t id = rng.next() % 97;  // dense domain forces runs
+    if (ref.contains(id)) {
+      ASSERT_TRUE(set.contains(id)) << "op " << op;
+      if (rng.next() % 2) {
+        set.erase(id);
+        ref.erase(id);
+      }
+    } else {
+      ASSERT_FALSE(set.contains(id)) << "op " << op;
+      set.insert(id);
+      ref.insert(id);
+    }
+    ASSERT_EQ(set.size(), ref.size());
+  }
+  for (std::uint64_t id = 0; id < 97; ++id)
+    ASSERT_EQ(set.contains(id), ref.contains(id)) << "id " << id;
+}
+
+TEST(FlatIdSet, GrowsPastExpectedCapacity) {
+  // The constructor hint is an optimisation, not a limit: inserting far
+  // beyond it must rehash, not degrade or hang.
+  FlatIdSet set(1);
+  for (std::uint64_t id = 0; id < 3000; ++id) set.insert(id * 0x9E3779B9ULL);
+  EXPECT_EQ(set.size(), 3000u);
+  for (std::uint64_t id = 0; id < 3000; ++id)
+    ASSERT_TRUE(set.contains(id * 0x9E3779B9ULL)) << id;
+  EXPECT_FALSE(set.contains(42));
+  for (std::uint64_t id = 0; id < 3000; id += 2) set.erase(id * 0x9E3779B9ULL);
+  EXPECT_EQ(set.size(), 1500u);
+  for (std::uint64_t id = 0; id < 3000; ++id)
+    ASSERT_EQ(set.contains(id * 0x9E3779B9ULL), id % 2 == 1) << id;
 }
 
 }  // namespace

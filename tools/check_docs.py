@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Check docs/ for drift against the repo.
+
+Usage:
+    check_docs.py [REPO_ROOT]
+
+Three failure classes, all of which must stay green in CI (the `docs` job)
+and locally (ctest entry `docs_check`):
+
+1. Broken internal links — every relative markdown link target in docs/*.md
+   (and every `docs/...` link in README.md) must exist on disk.
+2. Layer-map drift — every subdirectory of src/ must appear in
+   docs/architecture.md as `src/<name>/`; a new subsystem must be placed in
+   the layer map before it ships.
+3. README linkage — README.md must link both docs/architecture.md and
+   docs/benchmarking.md (the docs are only discoverable if the front page
+   points at them).
+
+Exit status: 0 = clean, 1 = drift found, 2 = bad invocation/missing files.
+"""
+
+import os
+import re
+import sys
+
+# [text](target) — target captured up to the first ')'; images excluded by
+# the (?<!!) lookbehind.
+LINK_RE = re.compile(r"(?<!!)\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def fail(msg):
+    print(f"error: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def relative_links(text):
+    for target in LINK_RE.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#", 1)[0]  # drop anchors
+        yield target[2:] if target.startswith("./") else target
+
+
+def main(argv):
+    root = os.path.abspath(argv[1] if len(argv) > 1 else ".")
+    docs_dir = os.path.join(root, "docs")
+    readme = os.path.join(root, "README.md")
+    arch = os.path.join(docs_dir, "architecture.md")
+    if not os.path.isdir(docs_dir):
+        fail(f"no docs/ directory under {root}")
+    if not os.path.isfile(readme):
+        fail(f"no README.md under {root}")
+    if not os.path.isfile(arch):
+        fail("docs/architecture.md is missing")
+
+    problems = []
+
+    # 1. Internal links in docs/*.md resolve relative to the doc's directory.
+    doc_files = sorted(
+        os.path.join(docs_dir, f)
+        for f in os.listdir(docs_dir)
+        if f.endswith(".md")
+    )
+    for path in doc_files:
+        with open(path) as f:
+            text = f.read()
+        for target in relative_links(text):
+            if not target:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(path, root)
+                problems.append(f"{rel}: broken link -> {target}")
+
+    # README links into docs/ must resolve too.
+    with open(readme) as f:
+        readme_text = f.read()
+    for target in relative_links(readme_text):
+        if target.startswith("docs/"):
+            if not os.path.exists(os.path.normpath(os.path.join(root, target))):
+                problems.append(f"README.md: broken link -> {target}")
+
+    # 2. Every src/* subdirectory appears in the architecture layer map.
+    with open(arch) as f:
+        arch_text = f.read()
+    src_dir = os.path.join(root, "src")
+    subdirs = sorted(
+        d for d in os.listdir(src_dir)
+        if os.path.isdir(os.path.join(src_dir, d))
+    )
+    for d in subdirs:
+        if f"src/{d}/" not in arch_text:
+            problems.append(
+                f"docs/architecture.md: layer map omits src/{d}/ "
+                "(new subsystem without an architecture entry)")
+
+    # 3. README links both docs.
+    for doc in ("docs/architecture.md", "docs/benchmarking.md"):
+        if doc not in readme_text:
+            problems.append(f"README.md does not link {doc}")
+
+    if problems:
+        for p in problems:
+            print(p)
+        print(f"\n{len(problems)} docs drift problem(s)")
+        return 1
+    print(f"docs OK: {len(doc_files)} doc file(s), "
+          f"{len(subdirs)} src/ subsystems all mapped, README linked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
