@@ -4,43 +4,59 @@
 // update gives strictly tighter point estimates; the question is whether
 // that translates into a better sampling gain.
 #include "common.hpp"
+#include "figures.hpp"
 
-int main() {
-  using namespace unisamp;
-  bench::banner("Ablation", "plain Count-Min vs conservative update",
-                "peak attack Zipf alpha = 4, m = 100000, n = 1000, c = 10");
+namespace unisamp::figures {
 
-  const std::size_t n = 1000;
-  const std::uint64_t m = 100000;
-  const auto counts = counts_from_weights(zipf_weights(n, 4.0), m, 1);
-  const Stream input = exact_stream(counts, 141);
+FigureDef make_ablation_sketch() {
+  using namespace unisamp::bench;
 
-  AsciiTable table;
-  table.set_header({"k", "s", "G_KL plain CM", "G_KL conservative"});
-  CsvWriter csv(bench::results_dir() + "/ablation_sketch.csv");
-  csv.header({"k", "s", "gain_plain", "gain_conservative"});
+  const std::vector<std::pair<std::size_t, std::size_t>> shapes = {
+      {10, 5}, {10, 17}, {50, 5}, {50, 10}, {100, 5}};
 
-  for (auto [k, s] : {std::pair<std::size_t, std::size_t>{10, 5},
-                      std::pair<std::size_t, std::size_t>{10, 17},
-                      std::pair<std::size_t, std::size_t>{50, 5},
-                      std::pair<std::size_t, std::size_t>{50, 10},
-                      std::pair<std::size_t, std::size_t>{100, 5}}) {
-    const auto params =
-        CountMinParams::from_dimensions(k, s, 1000 + k * 10 + s);
-    KnowledgeFreeSampler plain(10, params, 77);
-    ConservativeKnowledgeFreeSampler cons(10, params, 77);
-    const double g_plain = bench::gain(input, plain.run(input), n);
-    const double g_cons = bench::gain(input, cons.run(input), n);
-    table.add_row({std::to_string(k), std::to_string(s),
-                   format_double(g_plain, 4), format_double(g_cons, 4)});
-    csv.row_numeric({static_cast<double>(k), static_cast<double>(s), g_plain,
-                     g_cons});
-  }
-  std::printf("%s", table.render().c_str());
-  std::printf("\nconservative update tightens f-hat for rare ids (their "
-              "insertion probability\nrises toward the ideal), at identical "
-              "memory cost — a free-lunch refinement the\npaper's future "
-              "work could adopt.  Results in "
-              "bench_results/ablation_sketch.csv\n");
-  return 0;
+  FigureDef def;
+  def.slug = "ablation_sketch";
+  def.artefact = "Ablation";
+  def.title = "plain Count-Min vs conservative update";
+  def.settings = "peak attack Zipf alpha = 4, m = 100000, n = 1000, c = 10";
+  def.seed = 141;
+  def.columns = {"k", "s", "gain_plain", "gain_conservative"};
+  def.compute = [shapes](const FigureContext& ctx,
+                         FigureSeries& series) -> std::uint64_t {
+    const std::size_t n = 1000;
+    const std::uint64_t m = ctx.pick<std::uint64_t>(100000, 20000);
+    const auto counts = counts_from_weights(zipf_weights(n, 4.0), m, 1);
+    const Stream input = exact_stream(counts, ctx.seed);
+
+    std::uint64_t steps = 0;
+    for (const auto& [k, s] : shapes) {
+      const auto params = CountMinParams::from_dimensions(
+          k, s, derive_seed(ctx.seed, 1000 + k * 10 + s));
+      KnowledgeFreeSampler plain(10, params, derive_seed(ctx.seed, 77));
+      ConservativeKnowledgeFreeSampler cons(10, params,
+                                            derive_seed(ctx.seed, 77));
+      const double g_plain = bench::gain(input, plain.run(input), n);
+      const double g_cons = bench::gain(input, cons.run(input), n);
+      steps += 2 * input.size();
+      series.add_row({static_cast<double>(k), static_cast<double>(s),
+                      g_plain, g_cons});
+    }
+    return steps;
+  };
+  def.render = [](const FigureContext&, const FigureSeries& series) {
+    AsciiTable table;
+    table.set_header({"k", "s", "G_KL plain CM", "G_KL conservative"});
+    for (const auto& row : series.rows)
+      table.add_row({std::to_string(static_cast<std::uint64_t>(row[0])),
+                     std::to_string(static_cast<std::uint64_t>(row[1])),
+                     format_double(row[2], 4), format_double(row[3], 4)});
+    std::printf("%s", table.render().c_str());
+    std::printf("\nconservative update tightens f-hat for rare ids (their "
+                "insertion probability\nrises toward the ideal), at "
+                "identical memory cost — a free-lunch refinement the\n"
+                "paper's future work could adopt.\n");
+  };
+  return def;
 }
+
+}  // namespace unisamp::figures

@@ -3,66 +3,98 @@
 // peak attack.  Quantifies the paper's Sec. I critique: min-wise is
 // eventually uniform but STATIC (no Freshness); reservoir follows the
 // input bias wholesale.
+//
+// Series rows: {sampler, gain, late_distinct, static_steps} — sampler
+// 0 = omniscient, 1 = knowledge-free, 2 = min-wise, 3 = reservoir;
+// static_steps is the min-wise run's consecutive inputs without a sample
+// change (0 for the others).
 #include <set>
 
 #include "baseline/minwise_sampler.hpp"
 #include "baseline/reservoir_sampler.hpp"
 #include "common.hpp"
+#include "figures.hpp"
 
-int main() {
-  using namespace unisamp;
-  bench::banner("Baseline comparison",
-                "omniscient / knowledge-free / min-wise / reservoir",
-                "peak attack Zipf alpha = 4, m = 100000, n = 1000, c = 10");
+namespace unisamp::figures {
 
-  const std::size_t n = 1000;
-  const std::uint64_t m = 100000;
-  const auto counts = counts_from_weights(zipf_weights(n, 4.0), m, 1);
-  const Stream input = exact_stream(counts, 131);
+FigureDef make_baseline_comparison() {
+  using namespace unisamp::bench;
 
-  auto late_distinct = [&](const Stream& out) {
-    std::set<NodeId> seen(out.end() - out.size() / 4, out.end());
-    return seen.size();
+  FigureDef def;
+  def.slug = "baseline_comparison";
+  def.artefact = "Baseline comparison";
+  def.title = "omniscient / knowledge-free / min-wise / reservoir";
+  def.settings = "peak attack Zipf alpha = 4, m = 100000, n = 1000, c = 10";
+  def.seed = 131;
+  def.columns = {"sampler", "gain", "late_distinct", "static_steps"};
+  def.compute = [](const FigureContext& ctx,
+                   FigureSeries& series) -> std::uint64_t {
+    const std::size_t n = 1000;
+    const std::uint64_t m = ctx.pick<std::uint64_t>(100000, 20000);
+    const auto counts = counts_from_weights(zipf_weights(n, 4.0), m, 1);
+    const Stream input = exact_stream(counts, ctx.seed);
+
+    auto late_distinct = [&](const Stream& out) {
+      std::set<NodeId> seen(out.end() - out.size() / 4, out.end());
+      return static_cast<double>(seen.size());
+    };
+
+    {
+      const Stream omni =
+          run_omniscient(input, n, 10, derive_seed(ctx.seed, 132));
+      series.add_row({0.0, bench::gain(input, omni, n), late_distinct(omni),
+                      0.0});
+    }
+    {
+      const Stream kf =
+          run_knowledge_free(input, 10, 10, 5, derive_seed(ctx.seed, 133));
+      series.add_row({1.0, bench::gain(input, kf, n), late_distinct(kf),
+                      0.0});
+    }
+    {
+      MinWiseSampler mw(10, derive_seed(ctx.seed, 134));
+      const Stream out = mw.run(input);
+      series.add_row({2.0, bench::gain(input, out, n), late_distinct(out),
+                      static_cast<double>(mw.steps_since_last_change())});
+    }
+    {
+      ReservoirSampler rs(10, derive_seed(ctx.seed, 135));
+      const Stream out = rs.run(input);
+      series.add_row({3.0, bench::gain(input, out, n), late_distinct(out),
+                      0.0});
+    }
+    return 4 * input.size();
   };
-
-  AsciiTable table;
-  table.set_header({"sampler", "G_KL", "distinct ids in last quarter",
-                    "freshness"});
-
-  {
-    const Stream omni = bench::run_omniscient(input, n, 10, 132);
-    table.add_row({"omniscient (Alg. 1)",
-                   format_double(bench::gain(input, omni, n), 4),
-                   std::to_string(late_distinct(omni)), "yes"});
-  }
-  {
-    const Stream kf = bench::run_knowledge_free(input, 10, 10, 5, 133);
-    table.add_row({"knowledge-free (Alg. 3)",
-                   format_double(bench::gain(input, kf, n), 4),
-                   std::to_string(late_distinct(kf)), "yes"});
-  }
-  {
-    MinWiseSampler mw(10, 134);
-    const Stream out = mw.run(input);
-    table.add_row({"min-wise [6]", format_double(bench::gain(input, out, n), 4),
-                   std::to_string(late_distinct(out)),
-                   mw.steps_since_last_change() > m / 2 ? "NO (static)"
-                                                        : "degrading"});
-    std::printf("min-wise: %llu consecutive inputs without any sample "
-                "change (the staticity the paper criticises)\n",
-                static_cast<unsigned long long>(mw.steps_since_last_change()));
-  }
-  {
-    ReservoirSampler rs(10, 135);
-    const Stream out = rs.run(input);
-    table.add_row({"reservoir (Vitter R)",
-                   format_double(bench::gain(input, out, n), 4),
-                   std::to_string(late_distinct(out)), "yes (but biased)"});
-  }
-  std::printf("%s", table.render().c_str());
-  std::printf("\nreading: min-wise achieves uniform SELECTION but its output"
-              " freezes (few distinct\nids late in the stream); reservoir "
-              "keeps fresh but mirrors the attack bias; the\npaper's "
-              "samplers achieve both uniformity and freshness.\n");
-  return 0;
+  def.render = [](const FigureContext& ctx, const FigureSeries& series) {
+    const std::uint64_t m = ctx.pick<std::uint64_t>(100000, 20000);
+    const char* names[] = {"omniscient (Alg. 1)", "knowledge-free (Alg. 3)",
+                           "min-wise [6]", "reservoir (Vitter R)"};
+    AsciiTable table;
+    table.set_header({"sampler", "G_KL", "distinct ids in last quarter",
+                      "freshness"});
+    for (const auto& row : series.rows) {
+      const auto sampler = static_cast<std::size_t>(row[0]);
+      std::string freshness = "yes";
+      if (sampler == 2)
+        freshness = row[3] > static_cast<double>(m) / 2 ? "NO (static)"
+                                                        : "degrading";
+      else if (sampler == 3)
+        freshness = "yes (but biased)";
+      table.add_row({names[sampler], format_double(row[1], 4),
+                     std::to_string(static_cast<std::uint64_t>(row[2])),
+                     freshness});
+      if (sampler == 2)
+        std::printf("min-wise: %llu consecutive inputs without any sample "
+                    "change (the staticity the paper criticises)\n",
+                    static_cast<unsigned long long>(row[3]));
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nreading: min-wise achieves uniform SELECTION but its "
+                "output freezes (few distinct\nids late in the stream); "
+                "reservoir keeps fresh but mirrors the attack bias; the\n"
+                "paper's samplers achieve both uniformity and freshness.\n");
+  };
+  return def;
 }
+
+}  // namespace unisamp::figures

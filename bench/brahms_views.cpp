@@ -3,70 +3,86 @@
 // gossip scenario.  Quantifies both halves of the paper's positioning:
 // Brahms bounds view pollution (good) but its min-wise history is static
 // (no Freshness); the sampling service keeps the sample uniform AND fresh.
-#include <set>
-
 #include "baseline/brahms.hpp"
 #include "common.hpp"
+#include "figures.hpp"
 #include "sim/gossip.hpp"
 #include "sim/topology.hpp"
 
-int main() {
-  using namespace unisamp;
-  bench::banner("Brahms comparison",
-                "view/history pollution under Sybil flood",
-                "40 nodes, 4 byzantine, flood 30x, 60 rounds");
+namespace unisamp::figures {
 
-  AsciiTable table;
-  table.set_header({"flood factor", "Brahms view pollution",
-                    "Brahms history pollution", "service output pollution"});
-  CsvWriter csv(bench::results_dir() + "/brahms_views.csv");
-  csv.header({"flood", "brahms_view", "brahms_history", "service_output"});
+FigureDef make_brahms_views() {
+  using namespace unisamp::bench;
 
-  for (std::size_t flood : {5u, 10u, 30u, 60u}) {
-    BrahmsConfig bcfg;
-    bcfg.view_size = 8;
-    bcfg.sampler_slots = 8;
-    bcfg.seed = 3;
-    BrahmsNetwork brahms(40, 4, bcfg, 2, flood, 9);
-    brahms.run_rounds(60);
+  const Sweep<std::size_t> floods{{5, 10, 30, 60}, {5, 30}};
 
-    // Same scenario through the gossip simulator + knowledge-free service:
-    // 4 byzantine members flooding 4 forged ids at `flood` per neighbour.
-    GossipConfig gcfg;
-    gcfg.fanout = 2;
-    gcfg.seed = 11;
-    gcfg.byzantine_count = 4;
-    gcfg.flood_factor = flood;
-    gcfg.forged_id_count = 4;
-    ServiceConfig scfg;
-    scfg.strategy = Strategy::kKnowledgeFree;
-    scfg.memory_size = 8;
-    scfg.sketch_width = 6;
-    scfg.sketch_depth = 4;
-    scfg.record_output = false;
-    GossipNetwork net(Topology::complete(40), gcfg, scfg);
-    net.run_rounds(60);
-    double service_bad = 0.0, service_total = 0.0;
-    for (std::size_t i = 4; i < 40; ++i) {
-      const auto& h = net.service(i).output_histogram();
-      for (NodeId f : net.forged_ids())
-        service_bad += static_cast<double>(h.count(f));
-      service_total += static_cast<double>(h.total());
+  FigureDef def;
+  def.slug = "brahms_views";
+  def.artefact = "Brahms comparison";
+  def.title = "view/history pollution under Sybil flood";
+  def.settings = "40 nodes, 4 byzantine, flood 30x, 60 rounds";
+  def.seed = 3;
+  def.columns = {"flood", "brahms_view", "brahms_history", "service_output"};
+  def.compute = [floods](const FigureContext& ctx,
+                         FigureSeries& series) -> std::uint64_t {
+    const std::size_t rounds = ctx.pick<std::size_t>(60, 20);
+    std::uint64_t items = 0;
+    for (const std::size_t flood : floods.values(ctx.quick)) {
+      BrahmsConfig bcfg;
+      bcfg.view_size = 8;
+      bcfg.sampler_slots = 8;
+      bcfg.seed = ctx.seed;
+      BrahmsNetwork brahms(40, 4, bcfg, 2, flood, 9);
+      brahms.run_rounds(rounds);
+
+      // Same scenario through the gossip simulator + knowledge-free
+      // service: 4 byzantine members flooding 4 forged ids at `flood` per
+      // neighbour.
+      GossipConfig gcfg;
+      gcfg.fanout = 2;
+      gcfg.seed = 11;
+      gcfg.byzantine_count = 4;
+      gcfg.flood_factor = flood;
+      gcfg.forged_id_count = 4;
+      ServiceConfig scfg;
+      scfg.strategy = Strategy::kKnowledgeFree;
+      scfg.memory_size = 8;
+      scfg.sketch_width = 6;
+      scfg.sketch_depth = 4;
+      scfg.record_output = false;
+      GossipNetwork net(Topology::complete(40), gcfg, scfg);
+      net.run_rounds(rounds);
+      double service_bad = 0.0, service_total = 0.0;
+      for (std::size_t i = 4; i < 40; ++i) {
+        const auto& h = net.service(i).output_histogram();
+        for (NodeId f : net.forged_ids())
+          service_bad += static_cast<double>(h.count(f));
+        service_total += static_cast<double>(h.total());
+      }
+      items += 2 * 40 * rounds;
+      series.add_row({static_cast<double>(flood), brahms.view_pollution(),
+                      brahms.history_pollution(),
+                      service_bad / service_total});
     }
-    const double service_pollution = service_bad / service_total;
-
-    table.add_row({std::to_string(flood),
-                   format_double(brahms.view_pollution(), 3),
-                   format_double(brahms.history_pollution(), 3),
-                   format_double(service_pollution, 3)});
-    csv.row_numeric({static_cast<double>(flood), brahms.view_pollution(),
-                     brahms.history_pollution(), service_pollution});
-  }
-  std::printf("%s", table.render().c_str());
-  std::printf(
-      "\nbyzantine population share = 4/40 = 10%%: that is the uniform-"
-      "sampling target.\nBrahms' history resists flooding (min-wise) but "
-      "freezes (see tests); the\nsampling service tracks the target while "
-      "staying fresh.\nseries written to bench_results/brahms_views.csv\n");
-  return 0;
+    return items;
+  };
+  def.render = [](const FigureContext&, const FigureSeries& series) {
+    AsciiTable table;
+    table.set_header({"flood factor", "Brahms view pollution",
+                      "Brahms history pollution",
+                      "service output pollution"});
+    for (const auto& row : series.rows)
+      table.add_row({std::to_string(static_cast<std::uint64_t>(row[0])),
+                     format_double(row[1], 3), format_double(row[2], 3),
+                     format_double(row[3], 3)});
+    std::printf("%s", table.render().c_str());
+    std::printf(
+        "\nbyzantine population share = 4/40 = 10%%: that is the uniform-"
+        "sampling target.\nBrahms' history resists flooding (min-wise) but "
+        "freezes (see tests); the\nsampling service tracks the target while "
+        "staying fresh.\n");
+  };
+  return def;
 }
+
+}  // namespace unisamp::figures

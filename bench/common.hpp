@@ -1,46 +1,28 @@
-// Shared support for the figure/table reproduction binaries.
+// Shared experiment-domain helpers for the figure/table definitions.
 //
-// Every binary prints a self-contained report to stdout (the rows/series of
-// the corresponding paper artefact) and, where a figure is a data series,
-// also writes a CSV next to the working directory under bench_results/ so
-// the curve can be re-plotted externally.
+// The harness side (CLI, banner, timed scenario run, CSV + JSON sidecar)
+// lives in src/bench_harness/figure.hpp — this header only carries the
+// paper-specific building blocks the figure compute functions share: the
+// two sampler strategies and the gain/averaging helpers of Sec. VI.
 #pragma once
 
 #include <algorithm>
-#include <bit>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <string>
 
-#include "bench_harness/json_writer.hpp"
-#include "bench_harness/runner.hpp"
+#include "bench_harness/figure.hpp"
 #include "core/sampling_service.hpp"
 #include "metrics/divergence.hpp"
 #include "stream/generators.hpp"
 #include "stream/histogram.hpp"
-#include "util/csv.hpp"
-#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace unisamp::bench {
 
-/// Prints the standard experiment banner.
-inline void banner(const std::string& artefact, const std::string& what,
-                   const std::string& settings) {
-  std::printf("==============================================================\n");
-  std::printf("%s — %s\n", artefact.c_str(), what.c_str());
-  if (!settings.empty()) std::printf("settings: %s\n", settings.c_str());
-  std::printf("==============================================================\n");
-}
-
-/// Directory for CSV outputs; created on demand.
-inline std::string results_dir() {
-  const std::string dir = "bench_results";
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  return dir;
-}
+using bench_harness::FigureContext;
+using bench_harness::FigureDef;
+using bench_harness::FigureSeries;
+using bench_harness::Sweep;
 
 /// Runs a knowledge-free sampler (paper Algorithm 3) over `input` and
 /// returns the output stream.
@@ -77,46 +59,12 @@ inline double gain(const Stream& input, const Stream& output,
                  empirical_distribution(output, n));
 }
 
-/// Trial-averaged output distribution (the paper "conducted and averaged
-/// 100 trials of the same experiment", Sec. VI-A).  A single run's output
-/// histogram is over-dispersed by Gamma-residency clumping — each id that
-/// enters the memory is emitted ~1/flow times in a burst — so the paper's
-/// KL numbers are only reproducible by averaging independent runs.
-///
-/// Trials run on the util/parallel thread pool.  `run_one` must derive all
-/// randomness from the trial index it receives (every caller seeds via
-/// `derive_seed(seed, offset + t)`) and is called concurrently for distinct
-/// indices.  Accumulation happens afterwards in trial order, so the result
-/// is bit-identical to a serial run for any thread count.
-template <typename RunFn>
-std::vector<double> averaged_distribution(std::uint64_t n, int trials,
-                                          RunFn&& run_one) {
-  std::vector<double> avg(n, 0.0);
-  if (trials <= 0) return avg;  // the size_t cast below must not wrap
-  // Chunking bounds peak memory at O(chunk * n) instead of O(trials * n)
-  // while keeping every worker busy; accumulation stays in strict trial
-  // order (t = 0, 1, 2, ...) across chunk boundaries, so the result is the
-  // same as the serial loop regardless of thread count or chunk size.
-  const std::size_t total = static_cast<std::size_t>(trials);
-  const std::size_t chunk = std::max<std::size_t>(4 * trial_threads(), 1);
-  for (std::size_t base = 0; base < total; base += chunk) {
-    const std::size_t count = std::min(chunk, total - base);
-    const auto per_trial = run_trials(count, [&](std::size_t offset) {
-      return empirical_distribution(
-          run_one(static_cast<std::uint64_t>(base + offset)), n);
-    });
-    for (const auto& d : per_trial)
-      for (std::uint64_t i = 0; i < n; ++i) avg[i] += d[i];
-  }
-  for (double& x : avg) x /= static_cast<double>(trials);
-  return avg;
-}
-
-/// Averaged knowledge-free output distribution over `trials` seeds.
+/// Averaged knowledge-free output distribution over `trials` seeds
+/// (bench_harness::averaged_distribution on the shared thread pool).
 inline std::vector<double> averaged_kf_distribution(
     const Stream& input, std::uint64_t n, std::size_t c, std::size_t k,
     std::size_t s, std::uint64_t seed, int trials) {
-  return averaged_distribution(n, trials, [&](std::uint64_t t) {
+  return bench_harness::averaged_distribution(n, trials, [&](std::uint64_t t) {
     return run_knowledge_free(input, c, k, s, derive_seed(seed, 100 + t));
   });
 }
@@ -127,102 +75,9 @@ inline std::vector<double> averaged_omni_distribution(const Stream& input,
                                                       std::size_t c,
                                                       std::uint64_t seed,
                                                       int trials) {
-  return averaged_distribution(n, trials, [&](std::uint64_t t) {
+  return bench_harness::averaged_distribution(n, trials, [&](std::uint64_t t) {
     return run_omniscient(input, n, c, derive_seed(seed, 200 + t));
   });
-}
-
-/// --- bench_harness bridge --------------------------------------------------
-///
-/// Figure binaries run their series computation as a bench_harness Scenario
-/// (one timed repetition through the same runner tools/unisamp_bench uses)
-/// and serialize the result through the same JSON writer, so figure
-/// reproduction doubles as a perf record: bench_results/<slug>.json carries
-/// both the data series and the measured ns/op of producing it.
-
-/// A figure's data series: column names plus numeric rows (what the CSV
-/// holds, kept in memory so it can also go into the JSON report).
-struct FigureSeries {
-  std::vector<std::string> columns;
-  std::vector<std::vector<double>> rows;
-
-  void add_row(std::vector<double> row) { rows.push_back(std::move(row)); }
-
-  /// Folds every cell's bit pattern — the scenario checksum, so a figure
-  /// rerun with the same seed is verifiably bit-identical.
-  std::uint64_t checksum() const {
-    std::uint64_t acc = bench_harness::kChecksumSeed;
-    for (const auto& row : rows)
-      for (const double v : row)
-        acc = bench_harness::checksum_fold(acc,
-                                           std::bit_cast<std::uint64_t>(v));
-    return acc;
-  }
-};
-
-/// Runs `compute` (which fills `series` and returns items processed) as a
-/// one-repetition bench_harness scenario and returns the timed report.
-template <typename ComputeFn>
-bench_harness::ScenarioReport run_figure_scenario(const std::string& name,
-                                                  const std::string& what,
-                                                  std::uint64_t seed,
-                                                  FigureSeries& series,
-                                                  ComputeFn&& compute) {
-  bench_harness::Scenario scenario;
-  scenario.name = name;
-  scenario.description = what;
-  scenario.full_items = 1;  // figures define their own sweep; budget unused
-  scenario.quick_items = 1;
-  scenario.run = [&](std::uint64_t, std::uint64_t s) {
-    series = FigureSeries{};
-    const std::uint64_t items = compute(s);
-    return bench_harness::ScenarioResult{items, series.checksum()};
-  };
-  bench_harness::RunOptions opts;
-  opts.warmup = 0;
-  opts.repeats = 1;
-  opts.seed = seed;
-  return bench_harness::run_scenario(scenario, opts);
-}
-
-/// Writes bench_results/<slug>.json: figure metadata + timing + series
-/// ("unisamp-figure-v1").  Returns false if the file could not be written —
-/// callers must surface that (a phantom perf record is worse than none).
-inline bool write_figure_json(const std::string& slug,
-                              const std::string& artefact,
-                              const bench_harness::ScenarioReport& report,
-                              const FigureSeries& series) {
-  namespace bh = bench_harness;
-  bh::JsonWriter w;
-  w.begin_object();
-  w.member("schema", "unisamp-figure-v1");
-  w.member("artefact", std::string_view(artefact));
-  w.member("scenario", std::string_view(report.name));
-  w.member("description", std::string_view(report.description));
-  w.key("timing");
-  w.begin_object();
-  w.member("items", report.items);
-  w.member("ns_per_op", report.ns_per_op.median);
-  w.member("items_per_sec", report.items_per_sec);
-  w.end_object();
-  w.member("checksum", report.checksum);
-  w.key("columns");
-  w.begin_array();
-  for (const std::string& c : series.columns) w.value(std::string_view(c));
-  w.end_array();
-  w.key("rows");
-  w.begin_array();
-  for (const auto& row : series.rows) {
-    w.begin_array();
-    for (const double v : row) w.value(v);
-    w.end_array();
-  }
-  w.end_array();
-  w.end_object();
-  std::ofstream out(results_dir() + "/" + slug + ".json");
-  if (!out) return false;
-  out << w.str() << '\n';
-  return out.good();
 }
 
 }  // namespace unisamp::bench

@@ -5,77 +5,68 @@
 //      gain starts much lower (the attack succeeds at small c) and the
 //      attack is masked at larger c (paper: c ~ 700).
 // Settings: m = 100,000, n = 1,000, k = 10, s = 17.
-//
-// The sweep runs as a bench_harness scenario (same runner/JSON code path as
-// tools/unisamp_bench): bench_results/fig10_gain_vs_c.json records the data
-// series together with the measured per-sampler-step cost.
 #include "adversary/attacks.hpp"
 #include "common.hpp"
+#include "figures.hpp"
 
-int main() {
-  using namespace unisamp;
-  bench::banner("Figure 10", "G_KL vs sampling memory size c",
-                "m = 100000, n = 1000, k = 10, s = 17");
+namespace unisamp::figures {
 
-  const std::size_t n = 1000;
-  const std::uint64_t m = 100000;
+FigureDef make_fig10_gain_vs_c() {
+  using namespace unisamp::bench;
 
-  const auto peak_counts = counts_from_weights(zipf_weights(n, 4.0), m, 1);
-  const Stream peak_input = exact_stream(peak_counts, 101);
-  const auto band = make_poisson_band_attack(n, m, 102);
-  const Stream& band_input = band.stream;
+  const Sweep<std::size_t> cs{{10, 25, 50, 100, 200, 300, 500, 700, 1000},
+                              {10, 100, 1000}};
 
-  bench::FigureSeries series;
-  const auto report = bench::run_figure_scenario(
-      "fig/fig10_gain_vs_c", "G_KL vs sampling memory size c", 1, series,
-      [&](std::uint64_t) -> std::uint64_t {
-        series.columns = {"c", "gain_kf_peak", "gain_omni_peak",
-                          "gain_kf_band", "gain_omni_band"};
-        std::uint64_t steps = 0;
-        for (std::size_t c :
-             {10u, 25u, 50u, 100u, 200u, 300u, 500u, 700u, 1000u}) {
-          const Stream kf_a =
-              bench::run_knowledge_free(peak_input, c, 10, 17, c + 7);
-          const Stream om_a = bench::run_omniscient(peak_input, n, c, c + 8);
-          const Stream kf_b =
-              bench::run_knowledge_free(band_input, c, 10, 17, c + 9);
-          const Stream om_b = bench::run_omniscient(band_input, n, c, c + 11);
-          steps += 2 * (peak_input.size() + band_input.size());
-          series.add_row({static_cast<double>(c),
-                          bench::gain(peak_input, kf_a, n),
-                          bench::gain(peak_input, om_a, n),
-                          bench::gain(band_input, kf_b, n),
-                          bench::gain(band_input, om_b, n)});
-        }
-        return steps;
-      });
+  FigureDef def;
+  def.slug = "fig10_gain_vs_c";
+  def.artefact = "Figure 10";
+  def.title = "G_KL vs sampling memory size c";
+  def.settings = "m = 100000, n = 1000, k = 10, s = 17";
+  def.seed = 1;
+  def.columns = {"c", "gain_kf_peak", "gain_omni_peak", "gain_kf_band",
+                 "gain_omni_band"};
+  def.compute = [cs](const FigureContext& ctx,
+                     FigureSeries& series) -> std::uint64_t {
+    const std::size_t n = 1000;
+    const std::uint64_t m = ctx.pick<std::uint64_t>(100000, 20000);
 
-  AsciiTable table;
-  table.set_header({"c", "(a) kf", "(a) omni", "(b) kf", "(b) omni"});
-  CsvWriter csv(bench::results_dir() + "/fig10_gain_vs_c.csv");
-  csv.header({"c", "gain_kf_peak", "gain_omni_peak", "gain_kf_band",
-              "gain_omni_band"});
-  for (const auto& row : series.rows) {
-    table.add_row({std::to_string(static_cast<std::uint64_t>(row[0])),
-                   format_double(row[1], 4), format_double(row[2], 4),
-                   format_double(row[3], 4), format_double(row[4], 4)});
-    csv.row_numeric(row);
-  }
-  std::printf("%s", table.render().c_str());
-  if (!bench::write_figure_json("fig10_gain_vs_c", "Figure 10", report,
-                                series)) {
-    std::fprintf(stderr, "failed to write bench_results/fig10_gain_vs_c"
-                         ".json\n");
-    return 1;
-  }
-  std::printf("\n(a) = peak attack (Zipf alpha 4); (b) = targeted+flooding "
-              "(Poisson band).\nincreasing c is the defender's lever: the "
-              "knowledge-free gain climbs toward the omniscient one.\n"
-              "series written to bench_results/fig10_gain_vs_c.{csv,json}\n");
-  // Timing goes to stderr: stdout and the CSVs stay bit-identical across
-  // runs/thread counts; only the JSON's "timing" object carries wall clock.
-  std::fprintf(stderr, "%llu sampler steps at %.0f ns/step\n",
-               static_cast<unsigned long long>(report.items),
-               report.ns_per_op.median);
-  return 0;
+    const auto peak_counts = counts_from_weights(zipf_weights(n, 4.0), m, 1);
+    const Stream peak_input = exact_stream(peak_counts, 101);
+    const auto band = make_poisson_band_attack(n, m, 102);
+    const Stream& band_input = band.stream;
+
+    std::uint64_t steps = 0;
+    for (const std::size_t c : cs.values(ctx.quick)) {
+      const Stream kf_a = run_knowledge_free(peak_input, c, 10, 17,
+                                             derive_seed(ctx.seed, c + 7));
+      const Stream om_a =
+          run_omniscient(peak_input, n, c, derive_seed(ctx.seed, c + 8));
+      const Stream kf_b = run_knowledge_free(band_input, c, 10, 17,
+                                             derive_seed(ctx.seed, c + 9));
+      const Stream om_b =
+          run_omniscient(band_input, n, c, derive_seed(ctx.seed, c + 11));
+      steps += 2 * (peak_input.size() + band_input.size());
+      series.add_row({static_cast<double>(c),
+                      bench::gain(peak_input, kf_a, n),
+                      bench::gain(peak_input, om_a, n),
+                      bench::gain(band_input, kf_b, n),
+                      bench::gain(band_input, om_b, n)});
+    }
+    return steps;
+  };
+  def.render = [](const FigureContext&, const FigureSeries& series) {
+    AsciiTable table;
+    table.set_header({"c", "(a) kf", "(a) omni", "(b) kf", "(b) omni"});
+    for (const auto& row : series.rows)
+      table.add_row({std::to_string(static_cast<std::uint64_t>(row[0])),
+                     format_double(row[1], 4), format_double(row[2], 4),
+                     format_double(row[3], 4), format_double(row[4], 4)});
+    std::printf("%s", table.render().c_str());
+    std::printf("\n(a) = peak attack (Zipf alpha 4); (b) = targeted+flooding "
+                "(Poisson band).\nincreasing c is the defender's lever: the "
+                "knowledge-free gain climbs toward the omniscient one.\n");
+  };
+  return def;
 }
+
+}  // namespace unisamp::figures

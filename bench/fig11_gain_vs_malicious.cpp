@@ -8,45 +8,64 @@
 // E_50 = 306 from Table I when repetitions are factored in).
 #include "adversary/attacks.hpp"
 #include "common.hpp"
+#include "figures.hpp"
 
-int main() {
-  using namespace unisamp;
-  bench::banner("Figure 11", "G_KL vs number of malicious identifiers",
-                "m = 100000, n = 1000, c = 50, k = 50, s = 10");
+namespace unisamp::figures {
 
-  const std::size_t n = 1000;
-  const std::uint64_t m = 100000;
+FigureDef make_fig11_gain_vs_malicious() {
+  using namespace unisamp::bench;
 
-  AsciiTable table;
-  table.set_header({"malicious ids", "input mal. share", "output mal. share",
-                    "G_KL knowledge-free"});
-  CsvWriter csv(bench::results_dir() + "/fig11_gain_vs_malicious.csv");
-  csv.header({"malicious_ids", "in_share", "out_share", "gain_kf"});
+  const Sweep<std::size_t> ells{{10, 20, 50, 100, 200, 500, 1000},
+                                {10, 100, 1000}};
 
-  for (std::size_t ell : {10u, 20u, 50u, 100u, 200u, 500u, 1000u}) {
-    // Legitimate ids share half the stream uniformly; the adversary's ell
-    // distinct ids share the other half (each forged id is injected
-    // m/(2*ell) times).
-    std::vector<std::uint64_t> base(n, m / (2 * n));
-    const std::uint64_t reps = m / (2 * ell);
-    const auto attack = make_targeted_attack(base, ell, reps, ell + 3);
-    const std::uint64_t domain = n + ell;
+  FigureDef def;
+  def.slug = "fig11_gain_vs_malicious";
+  def.artefact = "Figure 11";
+  def.title = "G_KL vs number of malicious identifiers";
+  def.settings = "m = 100000, n = 1000, c = 50, k = 50, s = 10";
+  def.seed = 11;
+  def.columns = {"malicious_ids", "in_share", "out_share", "gain_kf"};
+  def.compute = [ells](const FigureContext& ctx,
+                       FigureSeries& series) -> std::uint64_t {
+    const std::size_t n = 1000;
+    const std::uint64_t m = ctx.pick<std::uint64_t>(100000, 20000);
+    std::uint64_t steps = 0;
+    for (const std::size_t ell : ells.values(ctx.quick)) {
+      // Legitimate ids share half the stream uniformly; the adversary's
+      // ell distinct ids share the other half (each forged id is injected
+      // m/(2*ell) times).
+      std::vector<std::uint64_t> base(n, m / (2 * n));
+      const std::uint64_t reps = m / (2 * ell);
+      const auto attack = make_targeted_attack(base, ell, reps, ell + 3);
+      const std::uint64_t domain = n + ell;
 
-    const Stream kf =
-        bench::run_knowledge_free(attack.stream, 50, 50, 10, ell + 11);
-    const double in_share =
-        malicious_fraction(attack.stream, attack.malicious_ids);
-    const double out_share = malicious_fraction(kf, attack.malicious_ids);
-    const double g = bench::gain(attack.stream, kf, domain);
-    table.add_row({std::to_string(ell), format_double(in_share, 3),
-                   format_double(out_share, 3), format_double(g, 4)});
-    csv.row_numeric({static_cast<double>(ell), in_share, out_share, g});
-  }
-  std::printf("%s", table.render().c_str());
-  std::printf("\nfew distinct malicious ids (each very frequent) are easy to "
-              "suppress;\nonce the count passes ~10%% of the population "
-              "(>~ E_50 = 306 w.r.t. the sketch)\nthe estimates of everyone "
-              "inflate and the gain collapses — the paper's Fig. 11.\n"
-              "series written to bench_results/fig11_gain_vs_malicious.csv\n");
-  return 0;
+      const Stream kf = run_knowledge_free(attack.stream, 50, 50, 10,
+                                           derive_seed(ctx.seed, ell + 11));
+      steps += attack.stream.size();
+      series.add_row(
+          {static_cast<double>(ell),
+           malicious_fraction(attack.stream, attack.malicious_ids),
+           malicious_fraction(kf, attack.malicious_ids),
+           bench::gain(attack.stream, kf, domain)});
+    }
+    return steps;
+  };
+  def.render = [](const FigureContext&, const FigureSeries& series) {
+    AsciiTable table;
+    table.set_header({"malicious ids", "input mal. share",
+                      "output mal. share", "G_KL knowledge-free"});
+    for (const auto& row : series.rows)
+      table.add_row({std::to_string(static_cast<std::uint64_t>(row[0])),
+                     format_double(row[1], 3), format_double(row[2], 3),
+                     format_double(row[3], 4)});
+    std::printf("%s", table.render().c_str());
+    std::printf("\nfew distinct malicious ids (each very frequent) are easy "
+                "to suppress;\nonce the count passes ~10%% of the population "
+                "(>~ E_50 = 306 w.r.t. the sketch)\nthe estimates of "
+                "everyone inflate and the gain collapses — the paper's "
+                "Fig. 11.\n");
+  };
+  return def;
 }
+
+}  // namespace unisamp::figures

@@ -5,52 +5,72 @@
 //
 // Expected shape: KL(input) >> KL(knowledge-free, 0.01n) and
 // KL(knowledge-free, log n) sits in between; omniscient lowest.
+//
+// The series keys traces by index into all_trace_specs() — 0 = NASA,
+// 1 = ClarkNet, 2 = Saskatchewan.
 #include <cmath>
 
 #include "common.hpp"
+#include "figures.hpp"
 #include "stream/webtrace.hpp"
 
-int main() {
-  using namespace unisamp;
-  bench::banner("Figure 12", "KL divergence vs uniform on real traces",
-                "calibrated NASA / ClarkNet / Saskatchewan, s = 5");
+namespace unisamp::figures {
 
-  AsciiTable table;
-  table.set_header({"trace", "KL input", "KL kf c=k=log n",
-                    "KL kf c=k=0.01n", "KL omniscient (c=0.01n)"});
-  CsvWriter csv(bench::results_dir() + "/fig12_real_traces.csv");
-  csv.header({"trace", "kl_input", "kl_kf_logn", "kl_kf_1pct", "kl_omni"});
+FigureDef make_fig12_real_traces() {
+  using namespace unisamp::bench;
 
-  // The paper averages 100 trials per setting; 5 are enough to wash out
-  // the Gamma-residency clumping at these stream lengths while keeping the
-  // bench under a minute.
-  constexpr int kTrials = 5;
-  for (const auto& spec : all_trace_specs()) {
-    const Stream input = generate_webtrace(spec, 121);
-    const std::uint64_t n = spec.distinct_ids;
-    const std::size_t logn = static_cast<std::size_t>(
-        std::ceil(std::log2(static_cast<double>(n))));
-    const std::size_t pct = static_cast<std::size_t>(n / 100);
+  FigureDef def;
+  def.slug = "fig12_real_traces";
+  def.artefact = "Figure 12";
+  def.title = "KL divergence vs uniform on real traces";
+  def.settings = "calibrated NASA / ClarkNet / Saskatchewan, s = 5";
+  def.seed = 12;
+  def.columns = {"trace", "kl_input", "kl_kf_logn", "kl_kf_1pct", "kl_omni"};
+  def.compute = [](const FigureContext& ctx,
+                   FigureSeries& series) -> std::uint64_t {
+    // The paper averages 100 trials per setting; 5 are enough to wash out
+    // the Gamma-residency clumping at these stream lengths while keeping
+    // the bench under a minute (--quick: 2 trials on a 200k-id prefix).
+    const int trials = ctx.trials(5, 2);
+    std::uint64_t steps = 0;
+    const auto specs = all_trace_specs();
+    for (std::size_t ti = 0; ti < specs.size(); ++ti) {
+      Stream input = generate_webtrace(specs[ti], 121);
+      if (ctx.quick && input.size() > 200000) input.resize(200000);
+      const std::uint64_t n = specs[ti].distinct_ids;
+      const std::size_t logn = static_cast<std::size_t>(
+          std::ceil(std::log2(static_cast<double>(n))));
+      const std::size_t pct = static_cast<std::size_t>(n / 100);
 
-    const double kl_in = stream_kl_from_uniform(input, n);
-    const double kl_log = kl_from_uniform(bench::averaged_kf_distribution(
-        input, n, logn, logn, 5, 31, kTrials));
-    const double kl_pct = kl_from_uniform(bench::averaged_kf_distribution(
-        input, n, pct, pct, 5, 32, kTrials));
-    const double kl_om = kl_from_uniform(
-        bench::averaged_omni_distribution(input, n, pct, 33, kTrials));
-
-    table.add_row({spec.name, format_double(kl_in, 4),
-                   format_double(kl_log, 4), format_double(kl_pct, 4),
-                   format_double(kl_om, 4)});
-    csv.row({spec.name, CsvWriter::format(kl_in), CsvWriter::format(kl_log),
-             CsvWriter::format(kl_pct), CsvWriter::format(kl_om)});
-  }
-  std::printf("%s", table.render().c_str());
-  std::printf("\nnote: with c = k = log n the sketch is tiny relative to n, "
-              "so the knowledge-free\nreduction is modest; at c = k = 0.01n "
-              "it approaches the omniscient strategy —\nthe ordering the "
-              "paper's Fig. 12 bars show.\n"
-              "series written to bench_results/fig12_real_traces.csv\n");
-  return 0;
+      const double kl_in = stream_kl_from_uniform(input, n);
+      const double kl_log = kl_from_uniform(averaged_kf_distribution(
+          input, n, logn, logn, 5, derive_seed(ctx.seed, 31), trials));
+      const double kl_pct = kl_from_uniform(averaged_kf_distribution(
+          input, n, pct, pct, 5, derive_seed(ctx.seed, 32), trials));
+      const double kl_om = kl_from_uniform(averaged_omni_distribution(
+          input, n, pct, derive_seed(ctx.seed, 33), trials));
+      steps += input.size() * (3 * static_cast<std::uint64_t>(trials));
+      series.add_row({static_cast<double>(ti), kl_in, kl_log, kl_pct,
+                      kl_om});
+    }
+    return steps;
+  };
+  def.render = [](const FigureContext&, const FigureSeries& series) {
+    const auto specs = all_trace_specs();
+    AsciiTable table;
+    table.set_header({"trace", "KL input", "KL kf c=k=log n",
+                      "KL kf c=k=0.01n", "KL omniscient (c=0.01n)"});
+    for (const auto& row : series.rows)
+      table.add_row({specs[static_cast<std::size_t>(row[0])].name,
+                     format_double(row[1], 4), format_double(row[2], 4),
+                     format_double(row[3], 4), format_double(row[4], 4)});
+    std::printf("%s", table.render().c_str());
+    std::printf("\nnote: with c = k = log n the sketch is tiny relative to "
+                "n, so the knowledge-free\nreduction is modest; at "
+                "c = k = 0.01n it approaches the omniscient strategy —\nthe "
+                "ordering the paper's Fig. 12 bars show.\n");
+  };
+  return def;
 }
+
+}  // namespace unisamp::figures

@@ -4,78 +4,74 @@
 //
 // Expected shape (paper): linear in k, sublinear in eta_T; e.g. at k = 50,
 // s = 10: 150 ids for eta_T = 0.5 and 571 for eta_T = 1e-4.
-//
-// The series is computed as a bench_harness scenario (same runner/JSON code
-// path as tools/unisamp_bench), so the run also leaves a perf+data record
-// at bench_results/fig3_targeted_effort.json.
 #include "analysis/urn.hpp"
 #include "common.hpp"
+#include "figures.hpp"
 
-int main() {
-  using namespace unisamp;
-  bench::banner("Figure 3", "targeted-attack effort L_{k,s} vs k",
-                "s = 10, eta_T in {0.5, 1e-1 .. 1e-6}, k = 10..500");
+namespace unisamp::figures {
+
+FigureDef make_fig3_targeted_effort() {
+  using namespace unisamp::bench;
 
   const std::vector<double> etas = {0.5, 1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6};
   const std::uint64_t s = 10;
+  const Sweep<std::uint64_t> ks{
+      [] {
+        std::vector<std::uint64_t> v;
+        for (std::uint64_t k = 10; k <= 500; k += 10) v.push_back(k);
+        return v;
+      }(),
+      {10, 50, 100, 200}};
 
-  bench::FigureSeries series;
-  const auto report = bench::run_figure_scenario(
-      "fig/fig3_targeted_effort", "targeted-attack effort L_{k,s} vs k", 1,
-      series, [&](std::uint64_t) -> std::uint64_t {
-        series.columns = {"k", "eta", "L_ks"};
-        std::uint64_t solves = 0;
-        for (std::uint64_t k = 10; k <= 500; k += 10) {
-          const auto efforts = targeted_attack_efforts(k, s, etas);
-          for (std::size_t i = 0; i < etas.size(); ++i) {
-            series.add_row({static_cast<double>(k), etas[i],
-                            static_cast<double>(efforts[i])});
-            ++solves;
-          }
-        }
-        return solves;
-      });
-
-  AsciiTable table;
-  table.set_header({"k", "eta=0.5", "1e-1", "1e-2", "1e-3", "1e-4", "1e-5",
-                    "1e-6"});
-  CsvWriter csv(bench::results_dir() + "/fig3_targeted_effort.csv");
-  csv.header({"k", "eta", "L_ks"});
-  // Rows arrive in blocks of one k times etas.size() entries.
-  for (std::size_t base = 0; base < series.rows.size(); base += etas.size()) {
-    const auto k = static_cast<std::uint64_t>(series.rows[base][0]);
-    std::vector<std::string> row = {std::to_string(k)};
-    for (std::size_t i = 0; i < etas.size(); ++i) {
-      csv.row_numeric(series.rows[base + i]);
-      row.push_back(std::to_string(
-          static_cast<std::uint64_t>(series.rows[base + i][2])));
+  FigureDef def;
+  def.slug = "fig3_targeted_effort";
+  def.artefact = "Figure 3";
+  def.title = "targeted-attack effort L_{k,s} vs k";
+  def.settings = "s = 10, eta_T in {0.5, 1e-1 .. 1e-6}, k = 10..500";
+  def.seed = 1;
+  def.columns = {"k", "eta", "L_ks"};
+  def.compute = [etas, s, ks](const FigureContext& ctx,
+                              FigureSeries& series) -> std::uint64_t {
+    std::uint64_t solves = 0;
+    for (const std::uint64_t k : ks.values(ctx.quick)) {
+      const auto efforts = targeted_attack_efforts(k, s, etas);
+      for (std::size_t i = 0; i < etas.size(); ++i) {
+        series.add_row({static_cast<double>(k), etas[i],
+                        static_cast<double>(efforts[i])});
+        ++solves;
+      }
     }
-    if (k % 50 == 0 || k == 10) table.add_row(row);
-  }
-  std::printf("%s", table.render().c_str());
+    return solves;
+  };
+  def.render = [etas](const FigureContext&, const FigureSeries& series) {
+    AsciiTable table;
+    table.set_header({"k", "eta=0.5", "1e-1", "1e-2", "1e-3", "1e-4", "1e-5",
+                      "1e-6"});
+    // Rows arrive in blocks of one k times etas.size() entries.
+    for (std::size_t base = 0; base < series.rows.size();
+         base += etas.size()) {
+      const auto k = static_cast<std::uint64_t>(series.rows[base][0]);
+      std::vector<std::string> row = {std::to_string(k)};
+      for (std::size_t i = 0; i < etas.size(); ++i)
+        row.push_back(std::to_string(
+            static_cast<std::uint64_t>(series.rows[base + i][2])));
+      if (k % 50 == 0 || k == 10) table.add_row(row);
+    }
+    std::printf("%s", table.render().c_str());
 
-  // Paper's running example: k = 50, s = 10.  The prose says "150 distinct
-  // node identifiers" for eta = 0.5; the exact Eq. 2 solve gives 135 (the
-  // paper's Table I values for this k/s match us digit-for-digit, so the
-  // 150 is rounded prose).  L(1e-4) = 571 matches Table I exactly.
-  std::printf("\ncheck: k=50, s=10 -> L(0.5) = %llu (paper prose: ~150), "
-              "L(1e-4) = %llu (paper: 571)\n",
-              static_cast<unsigned long long>(
-                  targeted_attack_effort(50, 10, 0.5)),
-              static_cast<unsigned long long>(
-                  targeted_attack_effort(50, 10, 1e-4)));
-  if (!bench::write_figure_json("fig3_targeted_effort", "Figure 3", report,
-                                series)) {
-    std::fprintf(stderr, "failed to write bench_results/fig3_targeted_effort"
-                         ".json\n");
-    return 1;
-  }
-  std::printf("series written to bench_results/fig3_targeted_effort"
-              ".{csv,json}\n");
-  // Timing goes to stderr: stdout and the CSVs stay bit-identical across
-  // runs/thread counts; only the JSON's "timing" object carries wall clock.
-  std::fprintf(stderr, "%llu solves in %.0f ns/solve\n",
-               static_cast<unsigned long long>(report.items),
-               report.ns_per_op.median);
-  return 0;
+    // Paper's running example: k = 50, s = 10.  The prose says "150
+    // distinct node identifiers" for eta = 0.5; the exact Eq. 2 solve gives
+    // 135 (the paper's Table I values for this k/s match us
+    // digit-for-digit, so the 150 is rounded prose).  L(1e-4) = 571 matches
+    // Table I exactly.
+    std::printf("\ncheck: k=50, s=10 -> L(0.5) = %llu (paper prose: ~150), "
+                "L(1e-4) = %llu (paper: 571)\n",
+                static_cast<unsigned long long>(
+                    targeted_attack_effort(50, 10, 0.5)),
+                static_cast<unsigned long long>(
+                    targeted_attack_effort(50, 10, 1e-4)));
+  };
+  return def;
 }
+
+}  // namespace unisamp::figures

@@ -6,38 +6,66 @@
 // bounds L_{k,s} for the plotted s regime.
 #include "analysis/urn.hpp"
 #include "common.hpp"
+#include "figures.hpp"
 
-int main() {
-  using namespace unisamp;
-  bench::banner("Figure 4", "flooding-attack effort E_k vs k",
-                "eta_F in {0.5, 1e-1 .. 1e-6}, k = 10..500");
+namespace unisamp::figures {
+
+FigureDef make_fig4_flooding_effort() {
+  using namespace unisamp::bench;
 
   const std::vector<double> etas = {0.5, 1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6};
+  const Sweep<std::uint64_t> ks{
+      [] {
+        std::vector<std::uint64_t> v;
+        for (std::uint64_t k = 10; k <= 500; k += 10) v.push_back(k);
+        return v;
+      }(),
+      {10, 50, 100, 200}};
 
-  AsciiTable table;
-  table.set_header({"k", "eta=0.5", "1e-1", "1e-2", "1e-3", "1e-4", "1e-5",
-                    "1e-6", "k*H_k (mean)"});
-  CsvWriter csv(bench::results_dir() + "/fig4_flooding_effort.csv");
-  csv.header({"k", "eta", "E_k"});
-
-  for (std::uint64_t k = 10; k <= 500; k += 10) {
-    const auto efforts = flooding_attack_efforts(k, etas);
-    std::vector<std::string> row = {std::to_string(k)};
-    for (std::size_t i = 0; i < etas.size(); ++i) {
-      row.push_back(std::to_string(efforts[i]));
-      csv.row_numeric({static_cast<double>(k), etas[i],
-                       static_cast<double>(efforts[i])});
+  FigureDef def;
+  def.slug = "fig4_flooding_effort";
+  def.artefact = "Figure 4";
+  def.title = "flooding-attack effort E_k vs k";
+  def.settings = "eta_F in {0.5, 1e-1 .. 1e-6}, k = 10..500";
+  def.seed = 1;
+  def.columns = {"k", "eta", "E_k"};
+  def.compute = [etas, ks](const FigureContext& ctx,
+                           FigureSeries& series) -> std::uint64_t {
+    std::uint64_t solves = 0;
+    for (const std::uint64_t k : ks.values(ctx.quick)) {
+      const auto efforts = flooding_attack_efforts(k, etas);
+      for (std::size_t i = 0; i < etas.size(); ++i) {
+        series.add_row({static_cast<double>(k), etas[i],
+                        static_cast<double>(efforts[i])});
+        ++solves;
+      }
     }
-    row.push_back(format_double(coupon_collector_mean(k), 4));
-    if (k % 50 == 0 || k == 10) table.add_row(row);
-  }
-  std::printf("%s", table.render().c_str());
+    return solves;
+  };
+  def.render = [etas](const FigureContext&, const FigureSeries& series) {
+    AsciiTable table;
+    table.set_header({"k", "eta=0.5", "1e-1", "1e-2", "1e-3", "1e-4", "1e-5",
+                      "1e-6", "k*H_k (mean)"});
+    for (std::size_t base = 0; base < series.rows.size();
+         base += etas.size()) {
+      const auto k = static_cast<std::uint64_t>(series.rows[base][0]);
+      std::vector<std::string> row = {std::to_string(k)};
+      for (std::size_t i = 0; i < etas.size(); ++i)
+        row.push_back(std::to_string(
+            static_cast<std::uint64_t>(series.rows[base + i][2])));
+      row.push_back(format_double(coupon_collector_mean(k), 4));
+      if (k % 50 == 0 || k == 10) table.add_row(row);
+    }
+    std::printf("%s", table.render().c_str());
 
-  std::printf("\ncheck: k=50 -> E(1e-1) = %llu (paper: ~300), "
-              "E(1e-4) = %llu (paper: ~650)\n",
-              static_cast<unsigned long long>(flooding_attack_effort(50, 0.1)),
-              static_cast<unsigned long long>(
-                  flooding_attack_effort(50, 1e-4)));
-  std::printf("series written to bench_results/fig4_flooding_effort.csv\n");
-  return 0;
+    std::printf("\ncheck: k=50 -> E(1e-1) = %llu (paper: ~300), "
+                "E(1e-4) = %llu (paper: ~650)\n",
+                static_cast<unsigned long long>(
+                    flooding_attack_effort(50, 0.1)),
+                static_cast<unsigned long long>(
+                    flooding_attack_effort(50, 1e-4)));
+  };
+  return def;
 }
+
+}  // namespace unisamp::figures

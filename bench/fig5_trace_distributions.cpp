@@ -1,48 +1,91 @@
 // Figure 5: log-log frequency distribution of the three traces.  Prints
 // the rank/frequency curve at geometrically spaced ranks (straight line on
-// log-log = Zipfian, the paper's observation) and writes the full series.
+// log-log = Zipfian, the paper's observation) and records the series at
+// powers of two plus rank 1000 (the slope anchor).
+//
+// The series keys traces by index into all_trace_specs() — 0 = NASA,
+// 1 = ClarkNet, 2 = Saskatchewan — so the rows stay purely numeric.
 #include <cmath>
 
 #include "common.hpp"
+#include "figures.hpp"
 #include "stream/webtrace.hpp"
 
-int main() {
-  using namespace unisamp;
-  bench::banner("Figure 5", "log-log rank/frequency distribution per trace",
-                "calibrated traces, full size");
+namespace unisamp::figures {
 
-  CsvWriter csv(bench::results_dir() + "/fig5_trace_distributions.csv");
-  csv.header({"trace", "rank", "frequency"});
+FigureDef make_fig5_trace_distributions() {
+  using namespace unisamp::bench;
 
-  AsciiTable table;
-  table.set_header({"rank", "NASA", "ClarkNet", "Saskatchewan"});
-  std::vector<std::vector<std::uint64_t>> freqs;
-  for (const auto& spec : all_trace_specs()) {
-    FrequencyHistogram h;
-    h.add_stream(generate_webtrace(spec, 1));
-    freqs.push_back(h.sorted_frequencies());
-    for (std::size_t rank = 1; rank <= freqs.back().size(); rank *= 2)
-      csv.row({spec.name, std::to_string(rank),
-               std::to_string(freqs.back()[rank - 1])});
-  }
-  for (std::size_t rank = 1; rank <= 131072; rank *= 4) {
-    std::vector<std::string> row = {std::to_string(rank)};
-    for (const auto& f : freqs)
-      row.push_back(rank <= f.size() ? std::to_string(f[rank - 1]) : "-");
-    table.add_row(row);
-  }
-  std::printf("%s", table.render().c_str());
+  FigureDef def;
+  def.slug = "fig5_trace_distributions";
+  def.artefact = "Figure 5";
+  def.title = "log-log rank/frequency distribution per trace";
+  def.settings = "calibrated traces, full size";
+  def.seed = 1;
+  def.columns = {"trace", "rank", "frequency"};
+  def.compute = [](const FigureContext& ctx,
+                   FigureSeries& series) -> std::uint64_t {
+    std::uint64_t items = 0;
+    const auto specs = all_trace_specs();
+    for (std::size_t ti = 0; ti < specs.size(); ++ti) {
+      Stream trace = generate_webtrace(specs[ti], ctx.seed);
+      // --quick keeps the head of each trace: the curve shape survives a
+      // prefix, the generation/counting cost does not.
+      if (ctx.quick && trace.size() > 500000) trace.resize(500000);
+      items += trace.size();
+      FrequencyHistogram h;
+      h.add_stream(trace);
+      const auto freqs = h.sorted_frequencies();
+      auto add = [&](std::size_t rank) {
+        series.add_row({static_cast<double>(ti), static_cast<double>(rank),
+                        static_cast<double>(freqs[rank - 1])});
+      };
+      for (std::size_t rank = 1; rank <= freqs.size(); rank *= 2) add(rank);
+      if (freqs.size() >= 1000) add(1000);  // slope anchor, see render
+    }
+    return items;
+  };
+  def.render = [](const FigureContext&, const FigureSeries& series) {
+    const auto specs = all_trace_specs();
+    // frequency[trace][rank] lookup from the series rows.
+    auto freq_at = [&](std::size_t ti, std::size_t rank) -> double {
+      for (const auto& row : series.rows)
+        if (static_cast<std::size_t>(row[0]) == ti &&
+            static_cast<std::size_t>(row[1]) == rank)
+          return row[2];
+      return -1.0;
+    };
 
-  // Log-log slope between rank 1 and rank 1000 (the Zipf exponent).
-  std::printf("\nlog-log slope rank 1 -> 1000:");
-  const char* names[] = {"NASA", "ClarkNet", "Saskatchewan"};
-  for (std::size_t i = 0; i < freqs.size(); ++i) {
-    const double slope = std::log(static_cast<double>(freqs[i][999]) /
-                                  static_cast<double>(freqs[i][0])) /
-                         std::log(1000.0);
-    std::printf("  %s: %.3f", names[i], slope);
-  }
-  std::printf("\n(straight-line decay on log-log = the Zipfian behaviour the"
-              " paper reports)\n");
-  return 0;
+    AsciiTable table;
+    std::vector<std::string> header = {"rank"};
+    for (const auto& spec : specs) header.push_back(spec.name);
+    table.set_header(std::move(header));
+    for (std::size_t rank = 1; rank <= 131072; rank *= 4) {
+      std::vector<std::string> row = {std::to_string(rank)};
+      for (std::size_t ti = 0; ti < specs.size(); ++ti) {
+        const double f = freq_at(ti, rank);
+        row.push_back(f >= 0.0
+                          ? std::to_string(static_cast<std::uint64_t>(f))
+                          : "-");
+      }
+      table.add_row(row);
+    }
+    std::printf("%s", table.render().c_str());
+
+    // Log-log slope between rank 1 and rank 1000 (the Zipf exponent).
+    std::printf("\nlog-log slope rank 1 -> 1000:");
+    for (std::size_t ti = 0; ti < specs.size(); ++ti) {
+      const double f1 = freq_at(ti, 1), f1000 = freq_at(ti, 1000);
+      if (f1 > 0.0 && f1000 > 0.0)
+        std::printf("  %s: %.3f", specs[ti].name.c_str(),
+                    std::log(f1000 / f1) / std::log(1000.0));
+    }
+    std::printf("\n(straight-line decay on log-log = the Zipfian behaviour "
+                "the paper reports)\ntrace index: 0 = %s, 1 = %s, 2 = %s\n",
+                specs[0].name.c_str(), specs[1].name.c_str(),
+                specs[2].name.c_str());
+  };
+  return def;
 }
+
+}  // namespace unisamp::figures

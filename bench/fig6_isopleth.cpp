@@ -8,8 +8,15 @@
 // Expected shape: input shows a few bright horizontal stripes (the
 // over-represented ids); the omniscient panel becomes uniformly lighter
 // with time; the knowledge-free panel sits in between.
+//
+// Series rows: {panel, id_bucket, time_bucket, cum_count} for the three
+// 25 x 60 cumulative grids (panel 0 = input, 1 = knowledge-free,
+// 2 = omniscient).
+#include <memory>
+
 #include "adversary/attacks.hpp"
 #include "common.hpp"
+#include "figures.hpp"
 
 namespace {
 using namespace unisamp;
@@ -31,54 +38,90 @@ std::vector<double> bucketize(const Stream& stream, std::uint64_t n) {
   return grid;
 }
 
-void panel(const char* title, const Stream& stream, std::uint64_t n) {
-  std::printf("\n--- %s (y: id band 0..%llu, x: time ->) ---\n", title,
-              static_cast<unsigned long long>(n));
-  std::printf("%s", render_heatmap(bucketize(stream, n), kIdBuckets,
-                                   kTimeBuckets)
-                        .c_str());
-}
+struct Fig6State {
+  Stream input, kf, omni;
+};
 }  // namespace
 
-int main() {
-  using namespace unisamp;
-  bench::banner("Figure 6", "frequency distribution as a function of time",
-                "m = 40000, n = 1000, c = 15, k = 15, s = 17");
+namespace unisamp::figures {
 
-  // Input bias per the paper's description: "a small number of identifiers
-  // recur with a high frequency equal to 400, while the frequency of the
-  // other node identifiers sharply decreases ... representative to a
-  // Poisson distribution with a small index".  A Poisson(lambda = 100)
-  // band carrying 20% of the stream gives ~20 ids peaking near 400
-  // occurrences over m = 40,000.
-  const std::size_t n = 1000;
-  const std::uint64_t m = 40000;
-  auto band = truncated_poisson_weights(n, 100.0);
-  double band_mass = 0.0;
-  for (double w : band) band_mass += w;
-  std::vector<double> weights(n);
-  for (std::size_t i = 0; i < n; ++i)
-    weights[i] = 0.2 * band[i] / band_mass + 0.8 / static_cast<double>(n);
-  const Stream input = exact_stream(counts_from_weights(weights, m, 1), 6);
+FigureDef make_fig6_isopleth() {
+  using namespace unisamp::bench;
 
-  const Stream kf = bench::run_knowledge_free(input, 15, 15, 17, 66);
-  const Stream omni = bench::run_omniscient(input, n, 15, 67);
+  auto state = std::make_shared<Fig6State>();
 
-  panel("input stream", input, n);
-  panel("knowledge-free strategy", kf, n);
-  panel("omniscient strategy", omni, n);
+  FigureDef def;
+  def.slug = "fig6_isopleth";
+  def.artefact = "Figure 6";
+  def.title = "frequency distribution as a function of time";
+  def.settings = "m = 40000, n = 1000, c = 15, k = 15, s = 17";
+  def.seed = 6;
+  def.columns = {"panel", "id_bucket", "time_bucket", "cum_count"};
+  def.compute = [state](const FigureContext& ctx,
+                        FigureSeries& series) -> std::uint64_t {
+    // Input bias per the paper's description: "a small number of
+    // identifiers recur with a high frequency equal to 400, while the
+    // frequency of the other node identifiers sharply decreases ...
+    // representative to a Poisson distribution with a small index".  A
+    // Poisson(lambda = 100) band carrying 20% of the stream gives ~20 ids
+    // peaking near 400 occurrences over m = 40,000.
+    const std::size_t n = 1000;
+    const std::uint64_t m = ctx.pick<std::uint64_t>(40000, 10000);
+    auto band = truncated_poisson_weights(n, 100.0);
+    double band_mass = 0.0;
+    for (double w : band) band_mass += w;
+    std::vector<double> weights(n);
+    for (std::size_t i = 0; i < n; ++i)
+      weights[i] = 0.2 * band[i] / band_mass + 0.8 / static_cast<double>(n);
+    state->input = exact_stream(counts_from_weights(weights, m, 1), ctx.seed);
+    state->kf = run_knowledge_free(state->input, 15, 15, 17,
+                                   derive_seed(ctx.seed, 60));
+    state->omni = run_omniscient(state->input, n, 15,
+                                 derive_seed(ctx.seed, 61));
 
-  FrequencyHistogram hi, hk, ho;
-  hi.add_stream(input);
-  hk.add_stream(kf);
-  ho.add_stream(omni);
-  std::printf("\nmax id frequency: input %llu | knowledge-free %llu | "
-              "omniscient %llu  (uniform share would be %.0f)\n",
-              static_cast<unsigned long long>(hi.max_frequency()),
-              static_cast<unsigned long long>(hk.max_frequency()),
-              static_cast<unsigned long long>(ho.max_frequency()),
-              static_cast<double>(input.size()) / n);
-  std::printf("G_KL: knowledge-free %.3f | omniscient %.3f\n",
-              bench::gain(input, kf, n), bench::gain(input, omni, n));
-  return 0;
+    const Stream* panels[] = {&state->input, &state->kf, &state->omni};
+    for (std::size_t p = 0; p < 3; ++p) {
+      const auto grid = bucketize(*panels[p], n);
+      for (std::size_t ib = 0; ib < kIdBuckets; ++ib)
+        for (std::size_t tb = 0; tb < kTimeBuckets; ++tb)
+          series.add_row({static_cast<double>(p), static_cast<double>(ib),
+                          static_cast<double>(tb),
+                          grid[ib * kTimeBuckets + tb]});
+    }
+    return 3 * state->input.size();
+  };
+  def.render = [state](const FigureContext&, const FigureSeries& series) {
+    const std::size_t n = 1000;
+    const char* titles[] = {"input stream", "knowledge-free strategy",
+                            "omniscient strategy"};
+    // Rebuild each panel's grid from the series (the checksummed artefact).
+    for (std::size_t p = 0; p < 3; ++p) {
+      std::vector<double> grid(kTimeBuckets * kIdBuckets, 0.0);
+      for (const auto& row : series.rows)
+        if (static_cast<std::size_t>(row[0]) == p)
+          grid[static_cast<std::size_t>(row[1]) * kTimeBuckets +
+               static_cast<std::size_t>(row[2])] = row[3];
+      std::printf("\n--- %s (y: id band 0..%llu, x: time ->) ---\n",
+                  titles[p], static_cast<unsigned long long>(n));
+      std::printf("%s",
+                  render_heatmap(grid, kIdBuckets, kTimeBuckets).c_str());
+    }
+
+    FrequencyHistogram hi, hk, ho;
+    hi.add_stream(state->input);
+    hk.add_stream(state->kf);
+    ho.add_stream(state->omni);
+    std::printf("\nmax id frequency: input %llu | knowledge-free %llu | "
+                "omniscient %llu  (uniform share would be %.0f)\n",
+                static_cast<unsigned long long>(hi.max_frequency()),
+                static_cast<unsigned long long>(hk.max_frequency()),
+                static_cast<unsigned long long>(ho.max_frequency()),
+                static_cast<double>(state->input.size()) / n);
+    std::printf("G_KL: knowledge-free %.3f | omniscient %.3f\n",
+                bench::gain(state->input, state->kf, n),
+                bench::gain(state->input, state->omni, n));
+  };
+  return def;
 }
+
+}  // namespace unisamp::figures

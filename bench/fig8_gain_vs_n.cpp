@@ -4,67 +4,57 @@
 // Expected shape: omniscient gain ~1 throughout; knowledge-free gain > 0.9
 // across the whole range (the paper's "pretty good resilience ... in a very
 // large system"); the inset KL values drop from input to outputs.
-//
-// The sweep runs as a bench_harness scenario (same runner/JSON code path as
-// tools/unisamp_bench): bench_results/fig8_gain_vs_n.json records the data
-// series together with the measured per-sampler-step cost.
 #include "common.hpp"
+#include "figures.hpp"
 
-int main() {
-  using namespace unisamp;
-  bench::banner("Figure 8", "G_KL vs population size n (peak attack)",
-                "m = 100000, k = 10, c = 10, s = 17, Zipf alpha = 4");
+namespace unisamp::figures {
 
-  const std::uint64_t m = 100000;
-  constexpr int kTrials = 5;  // paper: 100 trials averaged per setting
+FigureDef make_fig8_gain_vs_n() {
+  using namespace unisamp::bench;
 
-  bench::FigureSeries series;
-  const auto report = bench::run_figure_scenario(
-      "fig/fig8_gain_vs_n", "G_KL vs population size n (peak attack)", 1,
-      series, [&](std::uint64_t) -> std::uint64_t {
-        series.columns = {"n", "kl_input", "kl_kf", "kl_omni", "gain_kf",
-                          "gain_omni"};
-        std::uint64_t steps = 0;
-        for (std::size_t n : {10u, 20u, 50u, 100u, 200u, 500u, 1000u}) {
-          const auto counts = counts_from_weights(zipf_weights(n, 4.0), m, 1);
-          const Stream input = exact_stream(counts, n + 5);
-          const auto in_dist = empirical_distribution(input, n);
-          const auto kf_dist = bench::averaged_kf_distribution(
-              input, n, 10, 10, 17, n + 81, kTrials);
-          const auto om_dist =
-              bench::averaged_omni_distribution(input, n, 10, n + 82, kTrials);
-          steps += input.size() * (2 * kTrials);
-          series.add_row({static_cast<double>(n), kl_from_uniform(in_dist),
-                          kl_from_uniform(kf_dist), kl_from_uniform(om_dist),
-                          kl_gain(in_dist, kf_dist),
-                          kl_gain(in_dist, om_dist)});
-        }
-        return steps;
-      });
+  const Sweep<std::size_t> ns{{10, 20, 50, 100, 200, 500, 1000},
+                              {10, 100, 1000}};
 
-  AsciiTable table;
-  table.set_header({"n", "KL input", "KL knowledge-free", "KL omniscient",
-                    "G_KL knowledge-free", "G_KL omniscient"});
-  CsvWriter csv(bench::results_dir() + "/fig8_gain_vs_n.csv");
-  csv.header({"n", "kl_input", "kl_kf", "kl_omni", "gain_kf", "gain_omni"});
-  for (const auto& row : series.rows) {
-    table.add_row({std::to_string(static_cast<std::uint64_t>(row[0])),
-                   format_double(row[1], 4), format_double(row[2], 4),
-                   format_double(row[3], 4), format_double(row[4], 4),
-                   format_double(row[5], 4)});
-    csv.row_numeric(row);
-  }
-  std::printf("%s", table.render().c_str());
-  if (!bench::write_figure_json("fig8_gain_vs_n", "Figure 8", report,
-                                series)) {
-    std::fprintf(stderr, "failed to write bench_results/fig8_gain_vs_n.json\n");
-    return 1;
-  }
-  std::printf("\nseries written to bench_results/fig8_gain_vs_n.{csv,json}\n");
-  // Timing goes to stderr: stdout and the CSVs stay bit-identical across
-  // runs/thread counts; only the JSON's "timing" object carries wall clock.
-  std::fprintf(stderr, "%llu sampler steps at %.0f ns/step\n",
-               static_cast<unsigned long long>(report.items),
-               report.ns_per_op.median);
-  return 0;
+  FigureDef def;
+  def.slug = "fig8_gain_vs_n";
+  def.artefact = "Figure 8";
+  def.title = "G_KL vs population size n (peak attack)";
+  def.settings = "m = 100000, k = 10, c = 10, s = 17, Zipf alpha = 4";
+  def.seed = 1;
+  def.columns = {"n", "kl_input", "kl_kf", "kl_omni", "gain_kf", "gain_omni"};
+  def.compute = [ns](const FigureContext& ctx,
+                     FigureSeries& series) -> std::uint64_t {
+    const std::uint64_t m = ctx.pick<std::uint64_t>(100000, 20000);
+    const int trials = ctx.trials(5, 2);  // paper: 100 trials averaged
+    std::uint64_t steps = 0;
+    for (const std::size_t n : ns.values(ctx.quick)) {
+      const auto counts = counts_from_weights(zipf_weights(n, 4.0), m, 1);
+      const Stream input = exact_stream(counts, n + 5);
+      const auto in_dist = empirical_distribution(input, n);
+      const auto kf_dist = averaged_kf_distribution(
+          input, n, 10, 10, 17, derive_seed(ctx.seed, n + 81), trials);
+      const auto om_dist = averaged_omni_distribution(
+          input, n, 10, derive_seed(ctx.seed, n + 82), trials);
+      steps += input.size() * (2 * static_cast<std::uint64_t>(trials));
+      series.add_row({static_cast<double>(n), kl_from_uniform(in_dist),
+                      kl_from_uniform(kf_dist), kl_from_uniform(om_dist),
+                      kl_gain(in_dist, kf_dist),
+                      kl_gain(in_dist, om_dist)});
+    }
+    return steps;
+  };
+  def.render = [](const FigureContext&, const FigureSeries& series) {
+    AsciiTable table;
+    table.set_header({"n", "KL input", "KL knowledge-free", "KL omniscient",
+                      "G_KL knowledge-free", "G_KL omniscient"});
+    for (const auto& row : series.rows)
+      table.add_row({std::to_string(static_cast<std::uint64_t>(row[0])),
+                     format_double(row[1], 4), format_double(row[2], 4),
+                     format_double(row[3], 4), format_double(row[4], 4),
+                     format_double(row[5], 4)});
+    std::printf("%s", table.render().c_str());
+  };
+  return def;
 }
+
+}  // namespace unisamp::figures

@@ -5,47 +5,86 @@
 // the omniscient one within the first few thousand identifiers, the
 // knowledge-free one ~3x later (paper Sec. VI-B), after which the gain is
 // flat and high.
+//
+// Series rows: {phase, x, gain_kf, gain_omni} — phase 0 is the m sweep
+// (x = m), phase 1 the convergence detail (x = prefix length into one
+// fixed stream).
 #include "common.hpp"
+#include "figures.hpp"
 
-int main() {
-  using namespace unisamp;
-  bench::banner("Figure 9", "G_KL vs stream length m (peak attack)",
-                "n = 1000, k = 10, c = 10, s = 17, Zipf alpha = 4");
+namespace unisamp::figures {
 
-  const std::size_t n = 1000;
-  AsciiTable table;
-  table.set_header({"m", "G_KL knowledge-free", "G_KL omniscient"});
-  CsvWriter csv(bench::results_dir() + "/fig9_gain_vs_m.csv");
-  csv.header({"m", "gain_kf", "gain_omni"});
+FigureDef make_fig9_gain_vs_m() {
+  using namespace unisamp::bench;
 
-  for (std::uint64_t m : {10000ull, 20000ull, 50000ull, 100000ull, 200000ull,
-                          500000ull, 1000000ull}) {
-    const auto counts = counts_from_weights(zipf_weights(n, 4.0), m, 1);
-    const Stream input = exact_stream(counts, m / 1000 + 3);
-    const Stream kf = bench::run_knowledge_free(input, 10, 10, 17, m + 91);
-    const Stream omni = bench::run_omniscient(input, n, 10, m + 92);
-    const double g_kf = bench::gain(input, kf, n);
-    const double g_om = bench::gain(input, omni, n);
-    table.add_row({format_with_commas(static_cast<long long>(m)),
-                   format_double(g_kf, 4), format_double(g_om, 4)});
-    csv.row_numeric({static_cast<double>(m), g_kf, g_om});
-  }
-  std::printf("%s", table.render().c_str());
+  const Sweep<std::uint64_t> ms{
+      {10000, 20000, 50000, 100000, 200000, 500000, 1000000},
+      {10000, 50000, 200000}};
+  const Sweep<std::size_t> prefixes{{1000, 3000, 9000, 30000, 100000},
+                                    {1000, 3000, 9000, 30000}};
 
-  // Convergence detail (paper: omniscient stationary after ~3,000 ids,
-  // knowledge-free ~3x later): gain computed on growing prefixes.
-  std::printf("\nconvergence detail (prefix gains, m = 100000):\n");
-  const auto counts = counts_from_weights(zipf_weights(n, 4.0), 100000, 1);
-  const Stream input = exact_stream(counts, 55);
-  const Stream kf = bench::run_knowledge_free(input, 10, 10, 17, 93);
-  const Stream omni = bench::run_omniscient(input, n, 10, 94);
-  for (std::size_t prefix : {1000u, 3000u, 9000u, 30000u, 100000u}) {
-    const Stream in_p(input.begin(), input.begin() + prefix);
-    const Stream kf_p(kf.begin(), kf.begin() + prefix);
-    const Stream om_p(omni.begin(), omni.begin() + prefix);
-    std::printf("  first %6zu ids: G_KL kf = %.3f, omni = %.3f\n", prefix,
-                bench::gain(in_p, kf_p, n), bench::gain(in_p, om_p, n));
-  }
-  std::printf("series written to bench_results/fig9_gain_vs_m.csv\n");
-  return 0;
+  FigureDef def;
+  def.slug = "fig9_gain_vs_m";
+  def.artefact = "Figure 9";
+  def.title = "G_KL vs stream length m (peak attack)";
+  def.settings = "n = 1000, k = 10, c = 10, s = 17, Zipf alpha = 4";
+  def.seed = 9;
+  def.columns = {"phase", "x", "gain_kf", "gain_omni"};
+  def.compute = [ms, prefixes](const FigureContext& ctx,
+                               FigureSeries& series) -> std::uint64_t {
+    const std::size_t n = 1000;
+    std::uint64_t steps = 0;
+    for (const std::uint64_t m : ms.values(ctx.quick)) {
+      const auto counts = counts_from_weights(zipf_weights(n, 4.0), m, 1);
+      const Stream input = exact_stream(counts, m / 1000 + 3);
+      const Stream kf = run_knowledge_free(input, 10, 10, 17,
+                                           derive_seed(ctx.seed, m + 91));
+      const Stream omni =
+          run_omniscient(input, n, 10, derive_seed(ctx.seed, m + 92));
+      steps += 2 * input.size();
+      series.add_row({0.0, static_cast<double>(m),
+                      bench::gain(input, kf, n),
+                      bench::gain(input, omni, n)});
+    }
+
+    // Convergence detail (paper: omniscient stationary after ~3,000 ids,
+    // knowledge-free ~3x later): gain computed on growing prefixes of one
+    // fixed stream.
+    const std::uint64_t detail_m = ctx.pick<std::uint64_t>(100000, 30000);
+    const auto counts =
+        counts_from_weights(zipf_weights(n, 4.0), detail_m, 1);
+    const Stream input = exact_stream(counts, 55);
+    const Stream kf =
+        run_knowledge_free(input, 10, 10, 17, derive_seed(ctx.seed, 93));
+    const Stream omni =
+        run_omniscient(input, n, 10, derive_seed(ctx.seed, 94));
+    steps += 2 * input.size();
+    for (const std::size_t prefix : prefixes.values(ctx.quick)) {
+      const Stream in_p(input.begin(), input.begin() + prefix);
+      const Stream kf_p(kf.begin(), kf.begin() + prefix);
+      const Stream om_p(omni.begin(), omni.begin() + prefix);
+      series.add_row({1.0, static_cast<double>(prefix),
+                      bench::gain(in_p, kf_p, n),
+                      bench::gain(in_p, om_p, n)});
+    }
+    return steps;
+  };
+  def.render = [](const FigureContext&, const FigureSeries& series) {
+    AsciiTable table;
+    table.set_header({"m", "G_KL knowledge-free", "G_KL omniscient"});
+    for (const auto& row : series.rows)
+      if (row[0] == 0.0)
+        table.add_row({format_with_commas(static_cast<long long>(row[1])),
+                       format_double(row[2], 4), format_double(row[3], 4)});
+    std::printf("%s", table.render().c_str());
+
+    std::printf("\nconvergence detail (prefix gains on one fixed stream):\n");
+    for (const auto& row : series.rows)
+      if (row[0] == 1.0)
+        std::printf("  first %6llu ids: G_KL kf = %.3f, omni = %.3f\n",
+                    static_cast<unsigned long long>(row[1]), row[2], row[3]);
+  };
+  return def;
 }
+
+}  // namespace unisamp::figures

@@ -1,0 +1,14 @@
+// Shared main() for every figure/table binary: each executable target
+// compiles this file with FIGURE_FACTORY set to its make_<name> function
+// (see bench/CMakeLists.txt) and links the definitions from the
+// unisamp_figures library.
+#include "figures.hpp"
+
+#ifndef FIGURE_FACTORY
+#error "compile with -DFIGURE_FACTORY=make_<figure_name>"
+#endif
+
+int main(int argc, char** argv) {
+  return unisamp::bench_harness::run_figure_main(
+      unisamp::figures::FIGURE_FACTORY(), argc, argv);
+}

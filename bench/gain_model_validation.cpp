@@ -1,48 +1,63 @@
 // Extra (analysis extension): mean-field gain model vs simulation — the
 // predicted Fig. 10a curve (gain vs c) next to the measured one, plus the
 // predicted peak suppression of Fig. 7a.
+#include <cmath>
+
 #include "analysis/gain_model.hpp"
 #include "common.hpp"
+#include "figures.hpp"
 
-int main() {
-  using namespace unisamp;
-  bench::banner("Gain model validation",
-                "mean-field prediction vs simulated knowledge-free sampler",
-                "peak attack Zipf alpha = 4, m = 100000, n = 1000, k = 10");
+namespace unisamp::figures {
 
-  const std::size_t n = 1000;
-  const std::uint64_t m = 100000;
-  const auto counts = counts_from_weights(zipf_weights(n, 4.0), m, 1);
-  const Stream input = exact_stream(counts, 201);
+FigureDef make_gain_model_validation() {
+  using namespace unisamp::bench;
 
-  GainModelInput model_in;
-  model_in.frequencies.assign(counts.begin(), counts.end());
-  model_in.k = 10;
+  const Sweep<std::size_t> cs{{10, 25, 50, 100, 200, 300, 500},
+                              {10, 100, 500}};
 
-  AsciiTable table;
-  table.set_header({"c", "predicted G_KL", "simulated G_KL", "abs. error"});
-  CsvWriter csv(bench::results_dir() + "/gain_model_validation.csv");
-  csv.header({"c", "predicted", "simulated"});
+  FigureDef def;
+  def.slug = "gain_model_validation";
+  def.artefact = "Gain model validation";
+  def.title = "mean-field prediction vs simulated knowledge-free sampler";
+  def.settings = "peak attack Zipf alpha = 4, m = 100000, n = 1000, k = 10";
+  def.seed = 201;
+  def.columns = {"c", "predicted", "simulated"};
+  def.compute = [cs](const FigureContext& ctx,
+                     FigureSeries& series) -> std::uint64_t {
+    const std::size_t n = 1000;
+    const std::uint64_t m = ctx.pick<std::uint64_t>(100000, 20000);
+    const auto counts = counts_from_weights(zipf_weights(n, 4.0), m, 1);
+    const Stream input = exact_stream(counts, ctx.seed);
 
-  for (std::size_t c : {10u, 25u, 50u, 100u, 200u, 300u, 500u}) {
-    model_in.c = c;
-    const auto predicted = evaluate_gain_model(model_in);
-    const Stream output =
-        bench::run_knowledge_free(input, c, 10, 17, c + 301);
-    const double simulated = bench::gain(input, output, n);
-    table.add_row({std::to_string(c),
-                   format_double(predicted.predicted_kl_gain, 4),
-                   format_double(simulated, 4),
-                   format_double(
-                       std::fabs(predicted.predicted_kl_gain - simulated),
-                       2)});
-    csv.row_numeric({static_cast<double>(c), predicted.predicted_kl_gain,
-                     simulated});
-  }
-  std::printf("%s", table.render().c_str());
-  std::printf("\nthe mean-field model predicts the memory-size lever of "
-              "Fig. 10a analytically —\nno simulation needed to dimension "
-              "c against a known attack profile.\nseries written to "
-              "bench_results/gain_model_validation.csv\n");
-  return 0;
+    GainModelInput model_in;
+    model_in.frequencies.assign(counts.begin(), counts.end());
+    model_in.k = 10;
+
+    std::uint64_t steps = 0;
+    for (const std::size_t c : cs.values(ctx.quick)) {
+      model_in.c = c;
+      const auto predicted = evaluate_gain_model(model_in);
+      const Stream output = run_knowledge_free(
+          input, c, 10, 17, derive_seed(ctx.seed, c + 301));
+      steps += input.size();
+      series.add_row({static_cast<double>(c), predicted.predicted_kl_gain,
+                      bench::gain(input, output, n)});
+    }
+    return steps;
+  };
+  def.render = [](const FigureContext&, const FigureSeries& series) {
+    AsciiTable table;
+    table.set_header({"c", "predicted G_KL", "simulated G_KL", "abs. error"});
+    for (const auto& row : series.rows)
+      table.add_row({std::to_string(static_cast<std::uint64_t>(row[0])),
+                     format_double(row[1], 4), format_double(row[2], 4),
+                     format_double(std::fabs(row[1] - row[2]), 2)});
+    std::printf("%s", table.render().c_str());
+    std::printf("\nthe mean-field model predicts the memory-size lever of "
+                "Fig. 10a analytically —\nno simulation needed to dimension "
+                "c against a known attack profile.\n");
+  };
+  return def;
 }
+
+}  // namespace unisamp::figures

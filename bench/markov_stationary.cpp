@@ -2,53 +2,76 @@
 // concrete chains — stationary distribution uniform over the C(n,c) memory
 // states under the omniscient parameter choice, inclusion probabilities
 // gamma_l = c/n, and reversibility for arbitrary admissible parameters.
-#include <numeric>
+#include <cmath>
+#include <utility>
 
 #include "analysis/markov.hpp"
 #include "common.hpp"
+#include "figures.hpp"
 
-int main() {
-  using namespace unisamp;
-  bench::banner("Markov verification", "Theorems 3-5 on concrete chains", "");
+namespace unisamp::figures {
 
-  AsciiTable table;
-  table.set_header({"n", "c", "|S| = C(n,c)", "max |pi - 1/|S||",
-                    "max |gamma - c/n|", "reversibility defect"});
+FigureDef make_markov_stationary() {
+  using namespace unisamp::bench;
 
-  for (auto [n, c] : {std::pair<unsigned, unsigned>{8, 3},
-                      std::pair<unsigned, unsigned>{10, 4},
-                      std::pair<unsigned, unsigned>{12, 3},
-                      std::pair<unsigned, unsigned>{14, 2}}) {
-    // Heavily skewed occurrence probabilities (geometric decay 0.5) — the
-    // kind of bias an adversary creates.
-    std::vector<double> p(n);
-    double v = 1.0, sum = 0.0;
-    for (unsigned i = 0; i < n; ++i) {
-      p[i] = v;
-      sum += v;
-      v *= 0.5;
+  const Sweep<std::pair<unsigned, unsigned>> cases{
+      {{8, 3}, {10, 4}, {12, 3}, {14, 2}}, {{8, 3}, {10, 4}}};
+
+  FigureDef def;
+  def.slug = "markov_stationary";
+  def.artefact = "Markov verification";
+  def.title = "Theorems 3-5 on concrete chains";
+  def.seed = 1;
+  def.columns = {"n", "c", "states", "max_pi_err", "max_gamma_err",
+                 "reversibility_defect"};
+  def.compute = [cases](const FigureContext& ctx,
+                        FigureSeries& series) -> std::uint64_t {
+    std::uint64_t states_total = 0;
+    for (const auto& [n, c] : cases.values(ctx.quick)) {
+      // Heavily skewed occurrence probabilities (geometric decay 0.5) —
+      // the kind of bias an adversary creates.
+      std::vector<double> p(n);
+      double v = 1.0, sum = 0.0;
+      for (unsigned i = 0; i < n; ++i) {
+        p[i] = v;
+        sum += v;
+        v *= 0.5;
+      }
+      for (double& x : p) x /= sum;
+
+      SamplerChain chain(omniscient_parameters(c, p));
+      const auto pi = chain.stationary_power_iteration();
+      const double uniform = 1.0 / static_cast<double>(chain.state_count());
+      double dpi = 0.0;
+      for (double x : pi) dpi = std::max(dpi, std::fabs(x - uniform));
+      const auto gamma = chain.inclusion_probabilities(pi);
+      double dg = 0.0;
+      for (double g : gamma)
+        dg = std::max(dg, std::fabs(g - static_cast<double>(c) / n));
+      states_total += chain.state_count();
+      series.add_row({static_cast<double>(n), static_cast<double>(c),
+                      static_cast<double>(chain.state_count()), dpi, dg,
+                      chain.reversibility_defect(
+                          chain.stationary_closed_form())});
     }
-    for (double& x : p) x /= sum;
-
-    SamplerChain chain(omniscient_parameters(c, p));
-    const auto pi = chain.stationary_power_iteration();
-    const double uniform = 1.0 / static_cast<double>(chain.state_count());
-    double dpi = 0.0;
-    for (double x : pi) dpi = std::max(dpi, std::fabs(x - uniform));
-    const auto gamma = chain.inclusion_probabilities(pi);
-    double dg = 0.0;
-    for (double g : gamma)
-      dg = std::max(dg, std::fabs(g - static_cast<double>(c) / n));
-    table.add_row({std::to_string(n), std::to_string(c),
-                   std::to_string(chain.state_count()),
-                   format_double(dpi, 3), format_double(dg, 3),
-                   format_double(chain.reversibility_defect(
-                                     chain.stationary_closed_form()),
-                                 3)});
-  }
-  std::printf("%s", table.render().c_str());
-  std::printf("\nall defects at numerical noise level -> Theorem 4's uniform"
-              " stationary\ndistribution and Corollary 5's gamma = c/n hold "
-              "on the explicit chain.\n");
-  return 0;
+    return states_total;
+  };
+  def.render = [](const FigureContext&, const FigureSeries& series) {
+    AsciiTable table;
+    table.set_header({"n", "c", "|S| = C(n,c)", "max |pi - 1/|S||",
+                      "max |gamma - c/n|", "reversibility defect"});
+    for (const auto& row : series.rows)
+      table.add_row({std::to_string(static_cast<std::uint64_t>(row[0])),
+                     std::to_string(static_cast<std::uint64_t>(row[1])),
+                     std::to_string(static_cast<std::uint64_t>(row[2])),
+                     format_double(row[3], 3), format_double(row[4], 3),
+                     format_double(row[5], 3)});
+    std::printf("%s", table.render().c_str());
+    std::printf("\nall defects at numerical noise level -> Theorem 4's "
+                "uniform stationary\ndistribution and Corollary 5's "
+                "gamma = c/n hold on the explicit chain.\n");
+  };
+  return def;
 }
+
+}  // namespace unisamp::figures

@@ -1,104 +1,176 @@
-// Micro-benchmarks (google-benchmark): per-element cost of the sketch
-// operations and of each sampler's process() path.  The paper's model
-// requires that "the amount of computation per data element of the stream
-// must be low to keep pace with the data stream" (Sec. III-A) — these
-// numbers substantiate that claim for the implementation.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks: per-element cost of the sketch operations and of each
+// sampler's process() path.  The paper's model requires that "the amount of
+// computation per data element of the stream must be low to keep pace with
+// the data stream" (Sec. III-A) — these numbers substantiate that claim.
+//
+// Formerly a google-benchmark binary; now a harness figure so it is built
+// unconditionally and leaves the same unisamp-figure-v1 sidecar as every
+// other bench.  The series rows are deterministic — {workload, param1,
+// param2, iters, out_fold} with out_fold the low 32 bits of a checksum
+// fold over each workload's outputs — while the measured per-config ns/op
+// goes to stderr (stdout and the CSV stay bit-identical across runs).
+// Workload ids: 0 = count_min_update, 1 = count_min_estimate,
+// 2 = knowledge_free_process, 3 = omniscient_process, 4 = minwise_process,
+// 5 = reservoir_process.
+#include <memory>
 
 #include "baseline/minwise_sampler.hpp"
 #include "baseline/reservoir_sampler.hpp"
-#include "core/knowledge_free_sampler.hpp"
-#include "core/omniscient_sampler.hpp"
+#include "bench_harness/timing.hpp"
+#include "common.hpp"
+#include "figures.hpp"
 #include "sketch/count_min.hpp"
-#include "stream/generators.hpp"
 
 namespace {
 using namespace unisamp;
+
+struct MicroTiming {
+  std::string label;
+  double ns_per_op = 0.0;
+};
+struct MicroState {
+  std::vector<MicroTiming> timings;
+};
 
 Stream biased_stream(std::size_t n, std::size_t m) {
   return exact_stream(counts_from_weights(zipf_weights(n, 4.0), m, 1), 11);
 }
 
-void BM_CountMinUpdate(benchmark::State& state) {
-  CountMinSketch sketch(CountMinParams::from_dimensions(
-      static_cast<std::size_t>(state.range(0)),
-      static_cast<std::size_t>(state.range(1)), 1));
-  const Stream stream = biased_stream(1000, 1 << 14);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    sketch.update(stream[i++ & ((1 << 14) - 1)]);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_CountMinUpdate)->Args({10, 5})->Args({50, 10})->Args({250, 10});
+constexpr std::size_t kStreamMask = (1 << 14) - 1;
 
-void BM_CountMinEstimate(benchmark::State& state) {
-  CountMinSketch sketch(CountMinParams::from_dimensions(
-      static_cast<std::size_t>(state.range(0)),
-      static_cast<std::size_t>(state.range(1)), 1));
-  const Stream stream = biased_stream(1000, 1 << 14);
-  for (NodeId id : stream) sketch.update(id);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sketch.estimate(stream[i++ & ((1 << 14) - 1)]));
-  }
-  state.SetItemsProcessed(state.iterations());
+double fold_low32(std::uint64_t acc) {
+  return static_cast<double>(acc & 0xffffffffULL);
 }
-BENCHMARK(BM_CountMinEstimate)->Args({10, 5})->Args({50, 10})->Args({250, 10});
-
-void BM_KnowledgeFreeProcess(benchmark::State& state) {
-  KnowledgeFreeSampler sampler(
-      static_cast<std::size_t>(state.range(0)),
-      CountMinParams::from_dimensions(10, 5, 3), 4);
-  const Stream stream = biased_stream(1000, 1 << 14);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sampler.process(stream[i++ & ((1 << 14) - 1)]));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_KnowledgeFreeProcess)->Arg(10)->Arg(100)->Arg(1000);
-
-void BM_OmniscientProcess(benchmark::State& state) {
-  const std::size_t n = 1000;
-  const auto counts = counts_from_weights(zipf_weights(n, 4.0), 100000, 1);
-  std::vector<double> p(n);
-  double total = 0;
-  for (auto c : counts) total += static_cast<double>(c);
-  for (std::size_t j = 0; j < n; ++j)
-    p[j] = static_cast<double>(counts[j]) / total;
-  OmniscientSampler sampler(static_cast<std::size_t>(state.range(0)), p, 5);
-  const Stream stream = biased_stream(n, 1 << 14);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sampler.process(stream[i++ & ((1 << 14) - 1)]));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_OmniscientProcess)->Arg(10)->Arg(100);
-
-void BM_MinWiseProcess(benchmark::State& state) {
-  MinWiseSampler sampler(static_cast<std::size_t>(state.range(0)), 6);
-  const Stream stream = biased_stream(1000, 1 << 14);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sampler.process(stream[i++ & ((1 << 14) - 1)]));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_MinWiseProcess)->Arg(1)->Arg(10);
-
-void BM_ReservoirProcess(benchmark::State& state) {
-  ReservoirSampler sampler(10, 7);
-  const Stream stream = biased_stream(1000, 1 << 14);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sampler.process(stream[i++ & ((1 << 14) - 1)]));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_ReservoirProcess);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+namespace unisamp::figures {
+
+FigureDef make_micro_samplers() {
+  using namespace unisamp::bench;
+  namespace bh = unisamp::bench_harness;
+
+  auto state = std::make_shared<MicroState>();
+
+  FigureDef def;
+  def.slug = "micro_samplers";
+  def.artefact = "Micro-benchmarks";
+  def.title = "per-element cost of sketch and sampler hot paths";
+  def.settings = "Zipf(4) stream, n = 1000, 2^14-id working set";
+  def.seed = 1;
+  def.columns = {"workload", "param1", "param2", "iters", "out_fold"};
+  def.compute = [state](const FigureContext& ctx,
+                        FigureSeries& series) -> std::uint64_t {
+    state->timings.clear();
+    const std::size_t iters = ctx.pick<std::size_t>(1 << 18, 1 << 14);
+    const Stream stream = biased_stream(1000, 1 << 14);
+    std::uint64_t total_ops = 0;
+
+    // Times `step(i)` for `iters` iterations and records one series row
+    // plus one stderr timing entry; `fold` accumulates the workload's
+    // observable output so the row stays a determinism witness.
+    auto measure = [&](double workload, double p1, double p2,
+                       const std::string& label, auto&& step) {
+      std::uint64_t acc = bh::kChecksumSeed;
+      bh::Stopwatch watch;
+      for (std::size_t i = 0; i < iters; ++i)
+        acc = bh::checksum_fold(acc, step(i));
+      const double elapsed = watch.elapsed_ns();
+      total_ops += iters;
+      state->timings.push_back(
+          {label, elapsed / static_cast<double>(iters)});
+      series.add_row({workload, p1, p2, static_cast<double>(iters),
+                      fold_low32(acc)});
+    };
+
+    for (const auto& [k, s] : {std::pair<std::size_t, std::size_t>{10, 5},
+                               std::pair<std::size_t, std::size_t>{50, 10},
+                               std::pair<std::size_t, std::size_t>{250, 10}}) {
+      CountMinSketch sketch(CountMinParams::from_dimensions(k, s, 1));
+      measure(0, static_cast<double>(k), static_cast<double>(s),
+              "count_min_update/" + std::to_string(k) + "x" +
+                  std::to_string(s),
+              [&](std::size_t i) {
+                sketch.update(stream[i & kStreamMask]);
+                return sketch.min_counter();
+              });
+    }
+    for (const auto& [k, s] : {std::pair<std::size_t, std::size_t>{10, 5},
+                               std::pair<std::size_t, std::size_t>{50, 10},
+                               std::pair<std::size_t, std::size_t>{250, 10}}) {
+      CountMinSketch sketch(CountMinParams::from_dimensions(k, s, 1));
+      for (NodeId id : stream) sketch.update(id);
+      measure(1, static_cast<double>(k), static_cast<double>(s),
+              "count_min_estimate/" + std::to_string(k) + "x" +
+                  std::to_string(s),
+              [&](std::size_t i) {
+                return sketch.estimate(stream[i & kStreamMask]);
+              });
+    }
+    for (const std::size_t c : {10u, 100u, 1000u}) {
+      KnowledgeFreeSampler sampler(
+          c, CountMinParams::from_dimensions(10, 5, 3), 4);
+      measure(2, static_cast<double>(c), 0.0,
+              "knowledge_free_process/c" + std::to_string(c),
+              [&](std::size_t i) {
+                return sampler.process(stream[i & kStreamMask]);
+              });
+    }
+    {
+      const std::size_t n = 1000;
+      const auto counts =
+          counts_from_weights(zipf_weights(n, 4.0), 100000, 1);
+      std::vector<double> p(n);
+      double total = 0;
+      for (auto cnt : counts) total += static_cast<double>(cnt);
+      for (std::size_t j = 0; j < n; ++j)
+        p[j] = static_cast<double>(counts[j]) / total;
+      for (const std::size_t c : {10u, 100u}) {
+        OmniscientSampler sampler(c, p, 5);
+        measure(3, static_cast<double>(c), 0.0,
+                "omniscient_process/c" + std::to_string(c),
+                [&](std::size_t i) {
+                  return sampler.process(stream[i & kStreamMask]);
+                });
+      }
+    }
+    for (const std::size_t slots : {1u, 10u}) {
+      MinWiseSampler sampler(slots, 6);
+      measure(4, static_cast<double>(slots), 0.0,
+              "minwise_process/" + std::to_string(slots),
+              [&](std::size_t i) {
+                return sampler.process(stream[i & kStreamMask]);
+              });
+    }
+    {
+      ReservoirSampler sampler(10, 7);
+      measure(5, 10.0, 0.0, "reservoir_process",
+              [&](std::size_t i) {
+                return sampler.process(stream[i & kStreamMask]);
+              });
+    }
+    return total_ops;
+  };
+  def.render = [state](const FigureContext&, const FigureSeries& series) {
+    const char* names[] = {"count_min_update", "count_min_estimate",
+                           "knowledge_free_process", "omniscient_process",
+                           "minwise_process", "reservoir_process"};
+    AsciiTable table;
+    table.set_header({"workload", "param1", "param2", "iters", "out fold"});
+    for (const auto& row : series.rows)
+      table.add_row({names[static_cast<std::size_t>(row[0])],
+                     std::to_string(static_cast<std::uint64_t>(row[1])),
+                     std::to_string(static_cast<std::uint64_t>(row[2])),
+                     std::to_string(static_cast<std::uint64_t>(row[3])),
+                     std::to_string(static_cast<std::uint64_t>(row[4]))});
+    std::printf("%s", table.render().c_str());
+    std::printf("\nper-config ns/op is on stderr (wall clock never touches "
+                "stdout or the CSV);\nthe sidecar's timing object carries "
+                "the aggregate rate.\n");
+    for (const auto& t : state->timings)
+      std::fprintf(stderr, "%-28s %8.1f ns/op\n", t.label.c_str(),
+                   t.ns_per_op);
+  };
+  return def;
+}
+
+}  // namespace unisamp::figures

@@ -1,18 +1,17 @@
 // Extra (extension): online attack detection quality.  Feeds the detector
 // benign and attacked streams and reports signal rates per window —
 // the operator-facing companion to the sampler's silent robustness.
+//
+// Series rows: {scenario, windows, alarmed, worst_signal, expected} with
+// signals encoded as the AttackSignal enum value (0 = none, see
+// core/attack_detector.hpp) and scenarios indexed in definition order.
 #include "adversary/attacks.hpp"
 #include "common.hpp"
 #include "core/attack_detector.hpp"
+#include "figures.hpp"
 
 namespace {
 using namespace unisamp;
-
-struct Scenario {
-  const char* name;
-  Stream stream;
-  AttackSignal expected;
-};
 
 DetectorConfig sensitive() {
   DetectorConfig cfg;
@@ -25,66 +24,102 @@ DetectorConfig sensitive() {
 }
 }  // namespace
 
-int main() {
-  using namespace unisamp;
-  bench::banner("Online diagnostics",
-                "attack detector signal rates per scenario",
-                "window = 10000, 256 heavy slots, HLL p=12");
+namespace unisamp::figures {
 
-  std::vector<Scenario> scenarios;
-  {
-    WeightedStreamGenerator gen(uniform_weights(1000), 3);
-    scenarios.push_back({"benign uniform", gen.take(60000),
-                         AttackSignal::kNone});
-  }
-  {
-    // alpha = 0.2 keeps the top id ~3x its fair share — clearly organic.
-    // (alpha ~ 0.3 sits right AT the sensitive profile's threshold: the
-    // detector trades false positives for band-attack sensitivity.)
-    WeightedStreamGenerator gen(zipf_weights(1000, 0.2), 5);
-    scenarios.push_back({"benign mild zipf", gen.take(60000),
-                         AttackSignal::kNone});
-  }
-  {
-    const auto counts = peak_attack_counts(1000, 0, 40000, 20);
-    scenarios.push_back({"peak attack", exact_stream(counts, 7),
-                         AttackSignal::kPeak});
-  }
-  {
-    const auto attack = make_poisson_band_attack(1000, 60000, 9);
-    scenarios.push_back({"poisson band (targeted+flooding)", attack.stream,
-                         AttackSignal::kPeak});
-  }
-  {
-    // Flooding: benign phase then thousands of fresh ids.
-    WeightedStreamGenerator gen(uniform_weights(400), 11);
-    Stream s = gen.take(20000);
-    Xoshiro256 rng(13);
-    for (int i = 0; i < 40000; ++i)
-      s.push_back(rng.bernoulli(0.6) ? 1'000'000 + rng.next_below(8000)
-                                     : gen.next());
-    scenarios.push_back({"sybil flood (fresh ids)", std::move(s),
-                        AttackSignal::kFlooding});
-  }
+FigureDef make_online_diagnostics() {
+  using namespace unisamp::bench;
 
-  AsciiTable table;
-  table.set_header({"scenario", "windows", "alarmed", "worst signal",
-                    "expected", "verdict"});
-  for (auto& sc : scenarios) {
-    AttackDetector detector(sensitive());
-    for (NodeId id : sc.stream) detector.observe(id);
-    std::size_t alarmed = 0;
-    for (const auto& r : detector.history())
-      if (r.signal != AttackSignal::kNone) ++alarmed;
-    const AttackSignal worst = detector.worst_signal();
-    table.add_row({sc.name, std::to_string(detector.history().size()),
-                   std::to_string(alarmed), std::string(to_string(worst)),
-                   std::string(to_string(sc.expected)),
-                   worst == sc.expected ? "ok" : "MISMATCH"});
-  }
-  std::printf("%s", table.render().c_str());
-  std::printf("\nthe detector complements the sampler: the service keeps the"
-              " output uniform\nwhile the detector tells the operator WHY "
-              "the input looked wrong.\n");
-  return 0;
+  FigureDef def;
+  def.slug = "online_diagnostics";
+  def.artefact = "Online diagnostics";
+  def.title = "attack detector signal rates per scenario";
+  def.settings = "window = 10000, 256 heavy slots, HLL p=12";
+  def.seed = 1;
+  def.columns = {"scenario", "windows", "alarmed", "worst_signal",
+                 "expected"};
+  def.compute = [](const FigureContext& ctx,
+                   FigureSeries& series) -> std::uint64_t {
+    // --quick halves the stream lengths; every scenario still spans
+    // multiple detector windows.
+    const int scale = ctx.quick ? 2 : 1;
+    const std::size_t benign_len = 60000 / scale;
+
+    struct Scenario {
+      Stream stream;
+      AttackSignal expected;
+    };
+    std::vector<Scenario> scenarios;
+    {
+      WeightedStreamGenerator gen(uniform_weights(1000), 3);
+      scenarios.push_back({gen.take(benign_len), AttackSignal::kNone});
+    }
+    {
+      // alpha = 0.2 keeps the top id ~3x its fair share — clearly organic.
+      // (alpha ~ 0.3 sits right AT the sensitive profile's threshold: the
+      // detector trades false positives for band-attack sensitivity.)
+      WeightedStreamGenerator gen(zipf_weights(1000, 0.2), 5);
+      scenarios.push_back({gen.take(benign_len), AttackSignal::kNone});
+    }
+    {
+      const auto counts = peak_attack_counts(1000, 0, 40000 / scale, 20);
+      scenarios.push_back({exact_stream(counts, 7), AttackSignal::kPeak});
+    }
+    {
+      const auto attack = make_poisson_band_attack(1000, benign_len, 9);
+      scenarios.push_back({attack.stream, AttackSignal::kPeak});
+    }
+    {
+      // Flooding: benign phase then thousands of fresh ids.
+      WeightedStreamGenerator gen(uniform_weights(400), 11);
+      Stream s = gen.take(20000 / scale);
+      Xoshiro256 rng(13);
+      for (int i = 0; i < 40000 / scale; ++i)
+        s.push_back(rng.bernoulli(0.6) ? 1'000'000 + rng.next_below(8000)
+                                       : gen.next());
+      scenarios.push_back({std::move(s), AttackSignal::kFlooding});
+    }
+
+    std::uint64_t items = 0;
+    for (std::size_t si = 0; si < scenarios.size(); ++si) {
+      AttackDetector detector(sensitive());
+      for (NodeId id : scenarios[si].stream) detector.observe(id);
+      items += scenarios[si].stream.size();
+      std::size_t alarmed = 0;
+      for (const auto& r : detector.history())
+        if (r.signal != AttackSignal::kNone) ++alarmed;
+      series.add_row(
+          {static_cast<double>(si),
+           static_cast<double>(detector.history().size()),
+           static_cast<double>(alarmed),
+           static_cast<double>(static_cast<int>(detector.worst_signal())),
+           static_cast<double>(static_cast<int>(scenarios[si].expected))});
+    }
+    return items;
+  };
+  def.render = [](const FigureContext&, const FigureSeries& series) {
+    const char* names[] = {"benign uniform", "benign mild zipf",
+                           "peak attack", "poisson band (targeted+flooding)",
+                           "sybil flood (fresh ids)"};
+    AsciiTable table;
+    table.set_header({"scenario", "windows", "alarmed", "worst signal",
+                      "expected", "verdict"});
+    for (const auto& row : series.rows) {
+      const auto worst = static_cast<AttackSignal>(static_cast<int>(row[3]));
+      const auto expected =
+          static_cast<AttackSignal>(static_cast<int>(row[4]));
+      table.add_row({names[static_cast<std::size_t>(row[0])],
+                     std::to_string(static_cast<std::uint64_t>(row[1])),
+                     std::to_string(static_cast<std::uint64_t>(row[2])),
+                     std::string(to_string(worst)),
+                     std::string(to_string(expected)),
+                     worst == expected ? "ok" : "MISMATCH"});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nthe detector complements the sampler: the service keeps "
+                "the output uniform\nwhile the detector tells the operator "
+                "WHY the input looked wrong.\n");
+  };
+  return def;
 }
+
+}  // namespace unisamp::figures

@@ -4,12 +4,17 @@
 // k = 250 rows differ — see EXPERIMENTS.md (the paper's 1617/3363 are
 // inconsistent with its own Eq. 5; Monte-Carlo and the coupon-collector
 // asymptotic both confirm the recursion values).
+//
+// Series rows: {k, s, eta, L_ours, L_paper, E_ours, E_paper}; -1 marks a
+// value the paper's table does not print.
 #include "analysis/urn.hpp"
 #include "common.hpp"
+#include "figures.hpp"
 
-int main() {
-  using namespace unisamp;
-  bench::banner("Table I", "key values of L_{k,s} and E_k", "");
+namespace unisamp::figures {
+
+FigureDef make_table1_key_values() {
+  using namespace unisamp::bench;
 
   struct Row {
     std::uint64_t k, s;
@@ -17,7 +22,7 @@ int main() {
     long paper_L;  // -1 = not in paper row
     long paper_E;
   };
-  const Row rows[] = {
+  const std::vector<Row> full_rows = {
       {10, 5, 1e-1, 38, 44},      {10, 5, 1e-4, 104, 110},
       {50, 5, 1e-1, 193, 306},    {50, 10, 1e-1, 227, -1},
       {50, 40, 1e-1, 296, -1},    {50, 5, 1e-4, 537, 651},
@@ -25,25 +30,56 @@ int main() {
       {250, 10, 1e-1, 1138, 1617}, {250, 10, 1e-4, 2871, 3363},
   };
 
-  AsciiTable table;
-  table.set_header({"k", "s", "eta", "L_ks (ours)", "L_ks (paper)",
-                    "E_k (ours)", "E_k (paper)"});
-  for (const Row& r : rows) {
-    const auto L = targeted_attack_effort(r.k, r.s, r.eta);
-    const auto E = flooding_attack_effort(r.k, r.eta);
-    table.add_row({std::to_string(r.k), std::to_string(r.s),
-                   format_double(r.eta, 2), std::to_string(L),
-                   r.paper_L >= 0 ? std::to_string(r.paper_L) : "-",
-                   std::to_string(E),
-                   r.paper_E >= 0 ? std::to_string(r.paper_E) : "-"});
-  }
-  std::printf("%s", table.render().c_str());
-  std::printf(
-      "\nepsilon/delta view: k = ceil(e/eps), s = ceil(log2(1/delta))\n"
-      "  k=10  -> eps ~ 0.3;  k=50 -> eps ~ 0.05;  k=250 -> eps ~ 0.01\n"
-      "  s=5   -> delta ~ 3e-2; s=10 -> delta ~ 1e-3; s=40 -> delta ~ 1e-12\n"
-      "note: k=250 rows and E(50,1e-4) differ from the paper's print —\n"
-      "      the exact recursion, the asymptotic exp(-k e^{-l/k}) and a\n"
-      "      Monte-Carlo check all agree with OUR values (EXPERIMENTS.md).\n");
-  return 0;
+  FigureDef def;
+  def.slug = "table1_key_values";
+  def.artefact = "Table I";
+  def.title = "key values of L_{k,s} and E_k";
+  def.seed = 1;
+  def.columns = {"k", "s", "eta", "L_ours", "L_paper", "E_ours", "E_paper"};
+  def.compute = [full_rows](const FigureContext& ctx,
+                            FigureSeries& series) -> std::uint64_t {
+    std::uint64_t solves = 0;
+    for (const Row& r : full_rows) {
+      if (ctx.quick && r.k > 50) continue;  // the k=250 solves dominate
+      const auto L = targeted_attack_effort(r.k, r.s, r.eta);
+      const auto E = flooding_attack_effort(r.k, r.eta);
+      series.add_row({static_cast<double>(r.k), static_cast<double>(r.s),
+                      r.eta, static_cast<double>(L),
+                      static_cast<double>(r.paper_L),
+                      static_cast<double>(E),
+                      static_cast<double>(r.paper_E)});
+      ++solves;
+    }
+    return solves;
+  };
+  def.render = [](const FigureContext&, const FigureSeries& series) {
+    AsciiTable table;
+    table.set_header({"k", "s", "eta", "L_ks (ours)", "L_ks (paper)",
+                      "E_k (ours)", "E_k (paper)"});
+    for (const auto& row : series.rows)
+      table.add_row({std::to_string(static_cast<std::uint64_t>(row[0])),
+                     std::to_string(static_cast<std::uint64_t>(row[1])),
+                     format_double(row[2], 2),
+                     std::to_string(static_cast<std::uint64_t>(row[3])),
+                     row[4] >= 0
+                         ? std::to_string(static_cast<std::uint64_t>(row[4]))
+                         : "-",
+                     std::to_string(static_cast<std::uint64_t>(row[5])),
+                     row[6] >= 0
+                         ? std::to_string(static_cast<std::uint64_t>(row[6]))
+                         : "-"});
+    std::printf("%s", table.render().c_str());
+    std::printf(
+        "\nepsilon/delta view: k = ceil(e/eps), s = ceil(log2(1/delta))\n"
+        "  k=10  -> eps ~ 0.3;  k=50 -> eps ~ 0.05;  k=250 -> eps ~ 0.01\n"
+        "  s=5   -> delta ~ 3e-2; s=10 -> delta ~ 1e-3; s=40 -> delta ~ "
+        "1e-12\n"
+        "note: k=250 rows and E(50,1e-4) differ from the paper's print —\n"
+        "      the exact recursion, the asymptotic exp(-k e^{-l/k}) and a\n"
+        "      Monte-Carlo check all agree with OUR values "
+        "(EXPERIMENTS.md).\n");
+  };
+  return def;
 }
+
+}  // namespace unisamp::figures

@@ -2,30 +2,65 @@
 // Traffic Archive logs are not available offline; we regenerate calibrated
 // synthetic traces (DESIGN.md §4) and verify their statistics reproduce the
 // paper's published numbers EXACTLY (stream size, distinct ids, max freq).
+//
+// Series rows: {trace, m, paper_m, n, paper_n, max_freq, paper_max, alpha};
+// traces keyed by index into all_trace_specs().
 #include "common.hpp"
+#include "figures.hpp"
 #include "stream/webtrace.hpp"
 
-int main() {
-  using namespace unisamp;
-  bench::banner("Table II", "statistics of (calibrated) data traces", "");
+namespace unisamp::figures {
 
-  AsciiTable table;
-  table.set_header({"trace", "# ids (m)", "paper m", "# distinct (n)",
-                    "paper n", "max freq", "paper max", "fitted alpha"});
-  for (const auto& spec : all_trace_specs()) {
-    const Stream trace = generate_webtrace(spec, /*seed=*/1);
-    const TraceStats stats = compute_stats(trace);
-    table.add_row({spec.name, format_with_commas(stats.stream_size),
-                   format_with_commas(spec.stream_size),
-                   format_with_commas(stats.distinct_ids),
-                   format_with_commas(spec.distinct_ids),
-                   format_with_commas(stats.max_frequency),
-                   format_with_commas(spec.max_frequency),
-                   format_double(fit_zipf_alpha(spec), 3)});
-  }
-  std::printf("%s", table.render().c_str());
-  std::printf("\nall three statistics match the paper's Table II exactly by\n"
-              "construction; the Zipf tail exponent is fitted so the curve\n"
-              "through (rank 1, max freq) integrates to m over n ranks.\n");
-  return 0;
+FigureDef make_table2_trace_stats() {
+  using namespace unisamp::bench;
+
+  FigureDef def;
+  def.slug = "table2_trace_stats";
+  def.artefact = "Table II";
+  def.title = "statistics of (calibrated) data traces";
+  def.seed = 1;
+  def.columns = {"trace", "m", "paper_m", "n", "paper_n",
+                 "max_freq", "paper_max", "fitted_alpha"};
+  def.compute = [](const FigureContext& ctx,
+                   FigureSeries& series) -> std::uint64_t {
+    std::uint64_t items = 0;
+    const auto specs = all_trace_specs();
+    for (std::size_t ti = 0; ti < specs.size(); ++ti) {
+      const Stream trace = generate_webtrace(specs[ti], ctx.seed);
+      const TraceStats stats = compute_stats(trace);
+      items += trace.size();
+      series.add_row({static_cast<double>(ti),
+                      static_cast<double>(stats.stream_size),
+                      static_cast<double>(specs[ti].stream_size),
+                      static_cast<double>(stats.distinct_ids),
+                      static_cast<double>(specs[ti].distinct_ids),
+                      static_cast<double>(stats.max_frequency),
+                      static_cast<double>(specs[ti].max_frequency),
+                      fit_zipf_alpha(specs[ti])});
+    }
+    return items;
+  };
+  def.render = [](const FigureContext&, const FigureSeries& series) {
+    const auto specs = all_trace_specs();
+    AsciiTable table;
+    table.set_header({"trace", "# ids (m)", "paper m", "# distinct (n)",
+                      "paper n", "max freq", "paper max", "fitted alpha"});
+    for (const auto& row : series.rows)
+      table.add_row({specs[static_cast<std::size_t>(row[0])].name,
+                     format_with_commas(static_cast<long long>(row[1])),
+                     format_with_commas(static_cast<long long>(row[2])),
+                     format_with_commas(static_cast<long long>(row[3])),
+                     format_with_commas(static_cast<long long>(row[4])),
+                     format_with_commas(static_cast<long long>(row[5])),
+                     format_with_commas(static_cast<long long>(row[6])),
+                     format_double(row[7], 3)});
+    std::printf("%s", table.render().c_str());
+    std::printf("\nall three statistics match the paper's Table II exactly "
+                "by\nconstruction; the Zipf tail exponent is fitted so the "
+                "curve\nthrough (rank 1, max freq) integrates to m over n "
+                "ranks.\n");
+  };
+  return def;
 }
+
+}  // namespace unisamp::figures

@@ -2,62 +2,106 @@
 // chain — TV distance to stationarity over time, mixing times, and the
 // weakly-lumped inclusion chain that the paper's programme (weak
 // lumpability, Rubino & Sericola) would analyse.
-#include "analysis/transient.hpp"
-#include "common.hpp"
-
+//
+// Series rows: {kind, n, c, decay, x, value}.  kind 0 = per-case summary
+// (x = metric: 0 |S|, 1 t_mix(0.25), 2 t_mix(0.05), 3 lumped entry rate,
+// 4 lumped exit rate); kind 1 = TV curve samples (x = t, value = tv).
 #include <numeric>
 
-int main() {
-  using namespace unisamp;
-  bench::banner("Transient analysis",
-                "mixing of the Algorithm 1 chain (paper future work)", "");
+#include "analysis/transient.hpp"
+#include "common.hpp"
+#include "figures.hpp"
 
-  auto make_chain = [](unsigned n, unsigned c, double decay) {
-    std::vector<double> p(n);
-    double v = 1.0;
-    for (unsigned i = 0; i < n; ++i) {
-      p[i] = v;
-      v *= decay;
-    }
-    const double sum = std::accumulate(p.begin(), p.end(), 0.0);
-    for (double& x : p) x /= sum;
-    return SamplerChain(omniscient_parameters(c, p));
-  };
+namespace unisamp::figures {
 
-  AsciiTable table;
-  table.set_header({"n", "c", "bias decay", "|S|", "t_mix(0.25)",
-                    "t_mix(0.05)", "lumped entry rate", "lumped exit rate"});
-  CsvWriter csv(bench::results_dir() + "/transient_mixing.csv");
-  csv.header({"n", "c", "decay", "t", "tv"});
+FigureDef make_transient_mixing() {
+  using namespace unisamp::bench;
 
   struct Case {
     unsigned n, c;
     double decay;
   };
-  for (const Case k : {Case{8, 2, 0.8}, Case{8, 2, 0.5}, Case{10, 3, 0.7},
-                       Case{12, 2, 0.6}}) {
-    const auto chain = make_chain(k.n, k.c, k.decay);
-    TransientAnalysis ta(chain);
-    const auto lumped = lump_inclusion_chain(chain, k.n - 1);  // rarest id
-    table.add_row({std::to_string(k.n), std::to_string(k.c),
-                   format_double(k.decay, 2),
-                   std::to_string(chain.state_count()),
-                   std::to_string(ta.mixing_time(0.25)),
-                   std::to_string(ta.mixing_time(0.05)),
-                   format_double(lumped.rate_in, 3),
-                   format_double(lumped.rate_out, 3)});
-    const auto curve = ta.tv_curve(0, 400);
-    for (std::size_t t = 0; t < curve.size(); t += 20)
-      csv.row_numeric({static_cast<double>(k.n), static_cast<double>(k.c),
-                       k.decay, static_cast<double>(t), curve[t]});
-  }
-  std::printf("%s", table.render().c_str());
-  std::printf(
-      "\nstronger input bias (smaller decay) -> rarer rarest-id -> smaller\n"
-      "insertion probabilities -> slower mixing: the transient cost of the\n"
-      "omniscient strategy's unbiasing, quantified.  The lumped in/out\n"
-      "rates give the 2-state marginal chain per id (weak lumpability holds\n"
-      "under the omniscient parameters; verified in tests).\n"
-      "series written to bench_results/transient_mixing.csv\n");
-  return 0;
+  const Sweep<Case> cases{
+      {{8, 2, 0.8}, {8, 2, 0.5}, {10, 3, 0.7}, {12, 2, 0.6}},
+      {{8, 2, 0.8}, {8, 2, 0.5}}};
+
+  FigureDef def;
+  def.slug = "transient_mixing";
+  def.artefact = "Transient analysis";
+  def.title = "mixing of the Algorithm 1 chain (paper future work)";
+  def.seed = 1;
+  def.columns = {"kind", "n", "c", "decay", "x", "value"};
+  def.compute = [cases](const FigureContext& ctx,
+                        FigureSeries& series) -> std::uint64_t {
+    const std::size_t horizon = ctx.pick<std::size_t>(400, 200);
+    std::uint64_t items = 0;
+    for (const Case& k : cases.values(ctx.quick)) {
+      std::vector<double> p(k.n);
+      double v = 1.0;
+      for (unsigned i = 0; i < k.n; ++i) {
+        p[i] = v;
+        v *= k.decay;
+      }
+      const double sum = std::accumulate(p.begin(), p.end(), 0.0);
+      for (double& x : p) x /= sum;
+      const SamplerChain chain(omniscient_parameters(k.c, p));
+
+      TransientAnalysis ta(chain);
+      const auto lumped = lump_inclusion_chain(chain, k.n - 1);  // rarest id
+      const double base[] = {static_cast<double>(k.n),
+                             static_cast<double>(k.c), k.decay};
+      auto summary = [&](double metric, double value) {
+        series.add_row({0.0, base[0], base[1], base[2], metric, value});
+      };
+      summary(0, static_cast<double>(chain.state_count()));
+      summary(1, static_cast<double>(ta.mixing_time(0.25)));
+      summary(2, static_cast<double>(ta.mixing_time(0.05)));
+      summary(3, lumped.rate_in);
+      summary(4, lumped.rate_out);
+
+      const auto curve = ta.tv_curve(0, horizon);
+      for (std::size_t t = 0; t < curve.size(); t += 20)
+        series.add_row({1.0, base[0], base[1], base[2],
+                        static_cast<double>(t), curve[t]});
+      items += chain.state_count() * horizon;
+    }
+    return items;
+  };
+  def.render = [](const FigureContext&, const FigureSeries& series) {
+    AsciiTable table;
+    table.set_header({"n", "c", "bias decay", "|S|", "t_mix(0.25)",
+                      "t_mix(0.05)", "lumped entry rate",
+                      "lumped exit rate"});
+    // Summary rows arrive in metric order 0..4 per case.
+    for (std::size_t i = 0; i < series.rows.size();) {
+      if (series.rows[i][0] != 0.0) {
+        ++i;
+        continue;
+      }
+      const auto& r = series.rows[i];
+      table.add_row({std::to_string(static_cast<std::uint64_t>(r[1])),
+                     std::to_string(static_cast<std::uint64_t>(r[2])),
+                     format_double(r[3], 2),
+                     std::to_string(
+                         static_cast<std::uint64_t>(series.rows[i][5])),
+                     std::to_string(
+                         static_cast<std::uint64_t>(series.rows[i + 1][5])),
+                     std::to_string(
+                         static_cast<std::uint64_t>(series.rows[i + 2][5])),
+                     format_double(series.rows[i + 3][5], 3),
+                     format_double(series.rows[i + 4][5], 3)});
+      i += 5;
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf(
+        "\nstronger input bias (smaller decay) -> rarer rarest-id -> "
+        "smaller\ninsertion probabilities -> slower mixing: the transient "
+        "cost of the\nomniscient strategy's unbiasing, quantified.  The "
+        "lumped in/out\nrates give the 2-state marginal chain per id (weak "
+        "lumpability holds\nunder the omniscient parameters; verified in "
+        "tests).\n");
+  };
+  return def;
 }
+
+}  // namespace unisamp::figures

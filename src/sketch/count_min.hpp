@@ -153,6 +153,13 @@ class ConservativeCountMinSketch {
 
  private:
   void recompute_min();
+  // Fully unrolled read-then-raise for the common depth <= 8 case: the
+  // compile-time depth keeps the per-row (value, index) pairs in registers
+  // and the raise pass reuses the pass-1 value instead of re-loading the
+  // cell.  Bit-identical to the general path.  Defined in count_min.cpp
+  // (only instantiated there).
+  template <std::size_t D>
+  std::uint64_t fused_update(std::uint64_t mixed, std::uint64_t count);
 
   std::size_t width_;
   std::size_t depth_;
@@ -163,7 +170,8 @@ class ConservativeCountMinSketch {
   // Counters currently equal to min_counter_ (see CountMinSketch).
   std::size_t min_multiplicity_;
   // Per-update scratch: the cell index the item maps to in each row, so the
-  // conservative read-then-raise pass hashes once instead of twice.
+  // conservative read-then-raise pass hashes once instead of twice (depth
+  // > 8 general path; the unrolled path uses stack arrays instead).
   std::vector<std::size_t> cells_;
 };
 

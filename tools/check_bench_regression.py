@@ -1,15 +1,23 @@
 #!/usr/bin/env python3
-"""Compare a unisamp-bench-v1 JSON report against a committed baseline.
+"""Compare unisamp benchmark records against a committed baseline.
 
 Usage:
-    check_bench_regression.py BASELINE.json CURRENT.json [--threshold=0.30]
+    check_bench_regression.py BASELINE CURRENT [--threshold=0.30]
 
-For every scenario present in both reports the median ns/op is compared.
+BASELINE and CURRENT may each be:
+  * a unisamp-bench-v1 report (tools/unisamp_bench output),
+  * a unisamp-figure-v1 sidecar (a bench/ figure binary's
+    bench_results/<name>.json), or
+  * a directory — every readable *.json inside with one of those schemas
+    is merged into one scenario set (e.g. a whole bench_results/ tree).
+
+For every scenario present in both sides the median ns/op is compared.
 A scenario REGRESSES when its median slows down by more than the threshold
 AND more than the run-to-run noise recorded in the current report (3 sigma
-of its per-repetition samples), so a jittery CI runner does not cry wolf.
-Checksums are compared whenever both runs did identical work (same items
-and seed) — a mismatch there means behaviour changed, not just speed.
+of its per-repetition samples; figure sidecars record a single repetition,
+so their noise term is zero).  Checksums are compared whenever both runs
+did identical work (same items, seed, and quick flag) — a mismatch there
+means behaviour changed, not just speed.
 
 Exit status: 0 = clean, 1 = at least one regression, checksum change, or
 baseline scenario missing from the current run, 2 = bad input.
@@ -19,6 +27,7 @@ reference machine, so the verdict informs rather than gates.
 """
 
 import json
+import os
 import sys
 
 
@@ -27,16 +36,55 @@ def bad_input(message):
     sys.exit(2)
 
 
+def scenario_entries(doc, path):
+    """Normalizes one parsed JSON document into scenario entries.
+
+    Every entry carries its own seed/quick so documents from different
+    runs (e.g. a directory of figure sidecars) can be merged safely.
+    """
+    schema = doc.get("schema")
+    if schema == "unisamp-bench-v1":
+        return [{
+            "name": s["name"],
+            "items": s["items"],
+            "checksum": s["checksum"],
+            "median": s["ns_per_op"]["median"],
+            "stddev": s["ns_per_op"]["stddev"],
+            "seed": doc.get("seed"),
+            "quick": doc.get("quick"),
+        } for s in doc["scenarios"]]
+    if schema == "unisamp-figure-v1":
+        timing = doc.get("timing", {})
+        return [{
+            "name": doc["scenario"],
+            "items": timing.get("items"),
+            "checksum": doc["checksum"],
+            "median": timing.get("ns_per_op", 0.0),
+            # One repetition: no repetition noise to widen the tolerance.
+            "stddev": 0.0,
+            "seed": doc.get("seed"),
+            "quick": doc.get("quick"),
+        }]
+    bad_input(f"error: {path} has unrecognized schema {schema!r} "
+              "(expected unisamp-bench-v1 or unisamp-figure-v1)")
+
+
 def load(path):
+    """Loads a report file or a directory of them into scenario entries."""
+    if os.path.isdir(path):
+        entries = []
+        for name in sorted(os.listdir(path)):
+            if name.endswith(".json"):
+                entries.extend(load(os.path.join(path, name)))
+        if not entries:
+            bad_input(f"error: no *.json reports under {path}")
+        return entries
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         bad_input(f"error: cannot read {path}: {e}")
-    if doc.get("schema") != "unisamp-bench-v1":
-        bad_input(f"error: {path} is not a unisamp-bench-v1 report "
-                  f"(schema={doc.get('schema')!r})")
-    return doc
+    return scenario_entries(doc, path)
 
 
 def main(argv):
@@ -52,27 +100,23 @@ def main(argv):
             bad_input(f"unknown option {opt}")
 
     baseline, current = load(args[0]), load(args[1])
-    base_by_name = {s["name"]: s for s in baseline["scenarios"]}
-    cur_scenarios = current["scenarios"]
-
-    same_work = (baseline.get("seed") == current.get("seed")
-                 and baseline.get("quick") == current.get("quick"))
+    base_by_name = {s["name"]: s for s in baseline}
 
     regressions, behaviour_changes = [], []
-    width = max((len(s["name"]) for s in cur_scenarios), default=20)
+    width = max((len(s["name"]) for s in current), default=20)
     print(f"{'scenario':<{width}}  {'base ns/op':>12}  {'cur ns/op':>12}  "
           f"{'delta':>8}  verdict")
-    for cur in cur_scenarios:
+    for cur in current:
         base = base_by_name.get(cur["name"])
         if base is None:
             print(f"{cur['name']:<{width}}  {'-':>12}  "
-                  f"{cur['ns_per_op']['median']:>12.1f}  {'-':>8}  NEW")
+                  f"{cur['median']:>12.1f}  {'-':>8}  NEW")
             continue
-        b, c = base["ns_per_op"]["median"], cur["ns_per_op"]["median"]
+        b, c = base["median"], cur["median"]
         delta = (c - b) / b if b > 0 else 0.0
         # Tolerance: the configured threshold, widened to 3 sigma of the
         # current run when its repetitions are noisier than that.
-        noise = 3 * cur["ns_per_op"]["stddev"] / c if c > 0 else 0.0
+        noise = 3 * cur["stddev"] / c if c > 0 else 0.0
         tolerance = max(threshold, noise)
         if delta > tolerance:
             verdict = "REGRESSION"
@@ -81,8 +125,12 @@ def main(argv):
             verdict = "improved"
         else:
             verdict = "ok"
-        if (same_work and base["items"] == cur["items"]
-                and base["checksum"] != cur["checksum"]):
+        # Same work = same seed, same quick flag, same item count; only
+        # then is a checksum difference a behaviour change.
+        same_work = (base["seed"] == cur["seed"]
+                     and base["quick"] == cur["quick"]
+                     and base["items"] == cur["items"])
+        if same_work and base["checksum"] != cur["checksum"]:
             verdict += " (checksum changed)"
             behaviour_changes.append(cur["name"])
         print(f"{cur['name']:<{width}}  {b:>12.1f}  {c:>12.1f}  "
@@ -91,7 +139,7 @@ def main(argv):
     # A filtered current run legitimately covers fewer scenarios; a FULL run
     # missing a baseline scenario means it silently fell out of perf
     # tracking (renamed/dropped without refreshing the baseline) — fail.
-    missing = sorted(set(base_by_name) - {s["name"] for s in cur_scenarios})
+    missing = sorted(set(base_by_name) - {s["name"] for s in current})
     for name in missing:
         print(f"{name:<{width}}  {'(missing from current run)':>12}")
 

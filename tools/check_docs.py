@@ -12,9 +12,13 @@ and locally (ctest entry `docs_check`):
 2. Layer-map drift — every subdirectory of src/ must appear in
    docs/architecture.md as `src/<name>/`; a new subsystem must be placed in
    the layer map before it ships.
-3. README linkage — README.md must link both docs/architecture.md and
-   docs/benchmarking.md (the docs are only discoverable if the front page
-   points at them).
+3. README linkage — README.md must link docs/architecture.md,
+   docs/benchmarking.md and docs/figures.md (the docs are only
+   discoverable if the front page points at them).
+4. Figure-catalogue drift — every figure/table bench binary (one per
+   bench/<name>.cpp, minus the shared figure_main.cpp) must be documented
+   in docs/figures.md by name; a new paper artefact must be catalogued
+   before it ships, exactly like a new src/ subsystem.
 
 Exit status: 0 = clean, 1 = drift found, 2 = bad invocation/missing files.
 """
@@ -95,10 +99,30 @@ def main(argv):
                 f"docs/architecture.md: layer map omits src/{d}/ "
                 "(new subsystem without an architecture entry)")
 
-    # 3. README links both docs.
-    for doc in ("docs/architecture.md", "docs/benchmarking.md"):
+    # 3. README links the docs.
+    for doc in ("docs/architecture.md", "docs/benchmarking.md",
+                "docs/figures.md"):
         if doc not in readme_text:
             problems.append(f"README.md does not link {doc}")
+
+    # 4. Every bench binary is catalogued in docs/figures.md.
+    figures_doc = os.path.join(docs_dir, "figures.md")
+    bench_dir = os.path.join(root, "bench")
+    benches = []
+    if not os.path.isfile(figures_doc):
+        problems.append("docs/figures.md is missing")
+    elif os.path.isdir(bench_dir):
+        with open(figures_doc) as f:
+            figures_text = f.read()
+        benches = sorted(
+            f[: -len(".cpp")] for f in os.listdir(bench_dir)
+            if f.endswith(".cpp") and f != "figure_main.cpp"
+        )
+        for name in benches:
+            if name not in figures_text:
+                problems.append(
+                    f"docs/figures.md: missing section for bench/{name} "
+                    "(new figure/table bench without a catalogue entry)")
 
     if problems:
         for p in problems:
@@ -106,7 +130,8 @@ def main(argv):
         print(f"\n{len(problems)} docs drift problem(s)")
         return 1
     print(f"docs OK: {len(doc_files)} doc file(s), "
-          f"{len(subdirs)} src/ subsystems all mapped, README linked")
+          f"{len(subdirs)} src/ subsystems all mapped, "
+          f"{len(benches)} bench artefacts catalogued, README linked")
     return 0
 
 
