@@ -1,0 +1,98 @@
+// Extra (beyond the paper's static model, Sec. V): the offline
+// estimate-probing targeted attack (adversary/adaptive.hpp) against the
+// knowledge-free sampler, swept over the adaptation intensity at a FIXED
+// Sybil budget.  Intensity 0 is bit-identical to make_targeted_attack —
+// the paper's static attacker — so the first row doubles as the static
+// baseline and the series answers: does probing a mirror sketch and
+// rerouting injections toward under-counted ids buy the adversary more
+// output pollution than volume alone?
+#include <array>
+
+#include "adversary/adaptive.hpp"
+#include "common.hpp"
+#include "figures.hpp"
+
+namespace unisamp::figures {
+
+FigureDef make_adaptive_probing() {
+  using namespace unisamp::bench;
+
+  const Sweep<double> intensities{{0.0, 0.25, 0.5, 1.0}, {0.0, 1.0}};
+
+  FigureDef def;
+  def.slug = "adaptive_probing";
+  def.artefact = "Adaptive attack A";
+  def.title = "estimate-probing targeted attack vs its static baseline";
+  def.settings =
+      "n = 200, 40 forged ids, 3 probe rounds, k = 10, s = 5, c = 10";
+  def.seed = 7;
+  def.columns = {"intensity", "malicious_output_fraction", "kl_output",
+                 "max_malicious_share"};
+  def.compute = [intensities](const FigureContext& ctx,
+                              FigureSeries& series) -> std::uint64_t {
+    const std::size_t n = 200;
+    const std::uint64_t base_count = ctx.pick<std::uint64_t>(40, 10);
+    const std::uint64_t repetitions = ctx.pick<std::uint64_t>(200, 50);
+    const int trials = ctx.trials(10, 2);
+    const std::vector<std::uint64_t> base(n, base_count);
+    std::uint64_t items = 0;
+    for (const double intensity : intensities.values(ctx.quick)) {
+      // Trials on the util/parallel pool; every trial derives all coins
+      // from its index, so the averages are thread-count invariant.
+      const auto per_trial = run_trials(
+          static_cast<std::size_t>(trials),
+          [&](std::size_t t) -> std::array<double, 3> {
+            ProbingAttackConfig cfg;
+            cfg.distinct_ids = 40;
+            cfg.repetitions = repetitions;
+            cfg.probe_rounds = 3;
+            cfg.intensity = intensity;
+            cfg.seed = derive_seed(ctx.seed, 0xA0 + t);
+            const AttackStream attack =
+                make_estimate_probing_attack(base, cfg);
+            const Stream output =
+                run_knowledge_free(attack.stream, 10, 10, 5,
+                                   derive_seed(ctx.seed, 0xB0 + t));
+            // Peak single-id share: does rerouting concentrate the output
+            // on a few malicious ids even when the total share is capped?
+            FrequencyHistogram hist;
+            hist.add_stream(output);
+            std::uint64_t peak = 0;
+            for (const NodeId id : attack.malicious_ids)
+              peak = std::max(peak, hist.count(id));
+            return {malicious_fraction(output, attack.malicious_ids),
+                    kl_from_uniform(empirical_distribution(output, n)),
+                    static_cast<double>(peak) /
+                        static_cast<double>(output.size())};
+          });
+      double mal = 0.0, kl = 0.0, g = 0.0;
+      for (const auto& r : per_trial) {
+        mal += r[0];
+        kl += r[1];
+        g += r[2];
+      }
+      const double inv = 1.0 / static_cast<double>(trials);
+      items += static_cast<std::uint64_t>(trials) *
+               (n * base_count + 40 * repetitions);
+      series.add_row({intensity, mal * inv, kl * inv, g * inv});
+    }
+    return items;
+  };
+  def.render = [](const FigureContext&, const FigureSeries& series) {
+    AsciiTable table;
+    table.set_header({"intensity", "malicious output fraction",
+                      "KL(output || U)", "max single-id share"});
+    for (const auto& row : series.rows)
+      table.add_row({format_double(row[0], 2), format_double(row[1], 4),
+                     format_double(row[2], 4), format_double(row[3], 4)});
+    std::printf("%s", table.render().c_str());
+    std::printf(
+        "\nintensity 0 IS the paper's static targeted attack (bit-identical "
+        "stream).\nAdaptation reroutes a fixed budget toward the mirror "
+        "sketch's under-counted\nids — the sampler's min/f-hat insertion rule "
+        "caps what that buys.\n");
+  };
+  return def;
+}
+
+}  // namespace unisamp::figures

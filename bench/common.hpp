@@ -13,6 +13,7 @@
 #include "bench_harness/figure.hpp"
 #include "core/sampling_service.hpp"
 #include "metrics/divergence.hpp"
+#include "scenario/spec.hpp"
 #include "stream/generators.hpp"
 #include "stream/histogram.hpp"
 #include "util/table.hpp"
@@ -78,6 +79,30 @@ inline std::vector<double> averaged_omni_distribution(const Stream& input,
   return bench_harness::averaged_distribution(n, trials, [&](std::uint64_t t) {
     return run_omniscient(input, n, c, derive_seed(seed, 200 + t));
   });
+}
+
+/// The shared network the engine-driven adaptive-adversary artefacts
+/// (eclipse_flood, sybil_churn, attack_schedule) stress: a sparse
+/// random-regular overlay — so a victim's neighbourhood is a small
+/// fraction of the network — 10% byzantine members, and the brahms_views
+/// sampler dimensioning (small sketch, responsive within tens of rounds).
+/// Callers fill in `schedule` (and tweak what they sweep).
+inline scenario::ScenarioSpec adaptive_base_spec(std::uint64_t seed) {
+  scenario::ScenarioSpec spec;
+  spec.topology.kind = scenario::TopologySpec::Kind::kRandomRegular;
+  spec.topology.nodes = 40;
+  spec.topology.degree = 4;
+  spec.gossip.fanout = 2;
+  spec.gossip.seed = seed;
+  spec.gossip.byzantine_count = 4;
+  spec.gossip.flood_factor = 30;
+  spec.gossip.forged_id_count = 4;
+  spec.sampler.memory_size = 8;
+  spec.sampler.sketch_width = 6;
+  spec.sampler.sketch_depth = 4;
+  spec.sampler.record_output = false;
+  spec.victim = 39;
+  return spec;
 }
 
 }  // namespace unisamp::bench

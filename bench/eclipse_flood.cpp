@@ -1,0 +1,62 @@
+// Extra (beyond the paper's static model, Sec. V): eclipse-style Sybil
+// flooding through the scenario engine (src/scenario).  The adversary
+// keeps the SAME per-round budget as the uniform flood but concentrates it
+// on one victim's overlay in-neighbourhood; the sweep answers whether
+// locality buys the adversary a polluted victim that the network-wide
+// average would hide.  Concentration 0 is the paper's static flood.
+#include "common.hpp"
+#include "figures.hpp"
+#include "scenario/engine.hpp"
+
+namespace unisamp::figures {
+
+FigureDef make_eclipse_flood() {
+  using namespace unisamp::bench;
+
+  const Sweep<double> concentrations{{0.0, 0.3, 0.6, 0.9}, {0.0, 0.9}};
+
+  FigureDef def;
+  def.slug = "eclipse_flood";
+  def.artefact = "Adaptive attack B";
+  def.title = "eclipse-concentrated Sybil flood vs the uniform flood";
+  def.settings =
+      "40 nodes random-regular(4), 4 byzantine, flood 30x, 60 rounds";
+  def.seed = 11;
+  def.columns = {"concentration", "victim_output_pollution",
+                 "network_output_pollution", "memory_pollution"};
+  def.compute = [concentrations](const FigureContext& ctx,
+                                 FigureSeries& series) -> std::uint64_t {
+    const std::size_t rounds = ctx.pick<std::size_t>(60, 20);
+    std::uint64_t items = 0;
+    for (const double concentration : concentrations.values(ctx.quick)) {
+      scenario::ScenarioSpec spec = bench::adaptive_base_spec(ctx.seed);
+      spec.name = "eclipse_flood";
+      spec.schedule = {{scenario::AttackKind::kEclipseFlood, rounds,
+                        concentration, 0}};
+      scenario::ScenarioEngine engine(std::move(spec));
+      const auto report = engine.run();
+      const auto& last = report.points.back();
+      series.add_row({concentration, last.victim_output_pollution,
+                      last.output_pollution, last.memory_pollution});
+      items += static_cast<std::uint64_t>(rounds) * 40;
+    }
+    return items;
+  };
+  def.render = [](const FigureContext&, const FigureSeries& series) {
+    AsciiTable table;
+    table.set_header({"concentration", "victim output pollution",
+                      "network output pollution", "memory pollution"});
+    for (const auto& row : series.rows)
+      table.add_row({format_double(row[0], 2), format_double(row[1], 4),
+                     format_double(row[2], 4), format_double(row[3], 4)});
+    std::printf("%s", table.render().c_str());
+    std::printf(
+        "\nsame total flood budget in every row — the adversary only moves "
+        "it toward\nthe victim's in-neighbourhood.  Compare column 2 against "
+        "column 3: the gap\nis what eclipse locality buys over the uniform "
+        "flood the paper analyses.\n");
+  };
+  return def;
+}
+
+}  // namespace unisamp::figures

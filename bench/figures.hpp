@@ -31,13 +31,17 @@ FigureDef make_fig12_real_traces();
 FigureDef make_table1_key_values();
 FigureDef make_table2_trace_stats();
 FigureDef make_ablation_sketch();
+FigureDef make_adaptive_probing();
+FigureDef make_attack_schedule();
 FigureDef make_baseline_comparison();
+FigureDef make_eclipse_flood();
 FigureDef make_brahms_views();
 FigureDef make_gain_model_validation();
 FigureDef make_markov_stationary();
 FigureDef make_micro_samplers();
 FigureDef make_network_gain();
 FigureDef make_online_diagnostics();
+FigureDef make_sybil_churn();
 FigureDef make_transient_mixing();
 
 }  // namespace unisamp::figures

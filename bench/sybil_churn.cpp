@@ -1,0 +1,68 @@
+// Extra (beyond the paper's static model, Sec. V): Sybil identity churn
+// through the scenario engine (src/scenario).  Malicious members re-enter
+// under fresh identities every `rotate_every` rounds; fresh ids start with
+// zero sketch counters, hence insertion probability ~1 — the strongest
+// lever against the knowledge-free sampler's frequency oracle.  The sweep
+// shows the trade the paper's cost model forces: faster rotation buys more
+// pollution but the distinct-identity bill (certificates from the central
+// authority, Sec. III-B) grows linearly with rotation count.
+#include "common.hpp"
+#include "figures.hpp"
+#include "scenario/engine.hpp"
+
+namespace unisamp::figures {
+
+FigureDef make_sybil_churn() {
+  using namespace unisamp::bench;
+
+  // 0 = never rotate (the static pool), then faster and faster churn.
+  const Sweep<std::size_t> rotations{{0, 30, 10, 3}, {0, 5}};
+
+  FigureDef def;
+  def.slug = "sybil_churn";
+  def.artefact = "Adaptive attack C";
+  def.title = "Sybil identity churn: pollution bought per fresh identity";
+  def.settings =
+      "40 nodes random-regular(4), 4 byzantine, flood 30x, 60 rounds";
+  def.seed = 13;
+  def.columns = {"rotate_every", "output_pollution", "memory_pollution",
+                 "distinct_malicious"};
+  def.compute = [rotations](const FigureContext& ctx,
+                            FigureSeries& series) -> std::uint64_t {
+    const std::size_t rounds = ctx.pick<std::size_t>(60, 20);
+    std::uint64_t items = 0;
+    for (const std::size_t rotate_every : rotations.values(ctx.quick)) {
+      scenario::ScenarioSpec spec = bench::adaptive_base_spec(ctx.seed);
+      spec.name = "sybil_churn";
+      spec.schedule = {{scenario::AttackKind::kSybilChurn, rounds, 0.0,
+                        rotate_every}};
+      scenario::ScenarioEngine engine(std::move(spec));
+      const auto report = engine.run();
+      const auto& last = report.points.back();
+      series.add_row({static_cast<double>(rotate_every),
+                      last.output_pollution, last.memory_pollution,
+                      last.distinct_malicious});
+      items += static_cast<std::uint64_t>(rounds) * 40;
+    }
+    return items;
+  };
+  def.render = [](const FigureContext&, const FigureSeries& series) {
+    AsciiTable table;
+    table.set_header({"rotate every (rounds)", "output pollution",
+                      "memory pollution", "distinct malicious ids"});
+    for (const auto& row : series.rows)
+      table.add_row({row[0] == 0.0 ? std::string("never")
+                                   : format_double(row[0], 3),
+                     format_double(row[1], 4), format_double(row[2], 4),
+                     format_double(row[3], 4)});
+    std::printf("%s", table.render().c_str());
+    std::printf(
+        "\nfresh identities enter with empty sketch counters (insertion "
+        "probability ~1),\nso faster rotation pollutes more — but column 4 "
+        "is the certificate bill the\nadversary pays the central authority; "
+        "the paper's Sybil cost model in action.\n");
+  };
+  return def;
+}
+
+}  // namespace unisamp::figures

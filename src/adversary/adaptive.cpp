@@ -1,0 +1,199 @@
+#include "adversary/adaptive.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/knowledge_free_sampler.hpp"
+#include "sketch/count_min.hpp"
+
+namespace unisamp {
+
+AttackStream make_estimate_probing_attack(
+    std::span<const std::uint64_t> base_counts,
+    const ProbingAttackConfig& config) {
+  if (config.distinct_ids == 0)
+    throw std::invalid_argument("probing attack needs at least one id");
+  if (config.intensity < 0.0 || config.intensity > 1.0)
+    throw std::invalid_argument("probing intensity must be in [0, 1]");
+  SybilBudget budget(static_cast<NodeId>(base_counts.size()),
+                     config.distinct_ids);
+  const auto ids = budget.ids();
+  std::vector<std::uint64_t> injections(config.distinct_ids,
+                                        config.repetitions);
+  const std::uint64_t moved = static_cast<std::uint64_t>(
+      config.intensity * static_cast<double>(config.repetitions));
+  if (moved > 0 && config.probe_rounds > 0) {
+    for (std::size_t round = 0; round < config.probe_rounds; ++round) {
+      // Compose the candidate stream as it stands and replay it into a
+      // mirror sampler running the adversary's OWN coins — it knows the
+      // algorithm but not the victim's hash coefficients (Sec. III-B).
+      const AttackStream candidate = compose_attack_stream(
+          base_counts, ids, injections, config.seed);
+      const auto params = CountMinParams::from_dimensions(
+          config.mirror_width, config.mirror_depth,
+          derive_seed(config.seed, 0xAD5E00 + round));
+      KnowledgeFreeSampler mirror(config.mirror_memory, params,
+                                  derive_seed(config.seed, 0xAD5F00 + round));
+      Stream sink;
+      mirror.process_stream(candidate.stream, sink);
+
+      // Rank own ids by mirror estimate; move budget from the over-counted
+      // end toward the under-counted end (pairing highest with lowest).
+      // Total injections — and the Sybil bill — never change.
+      std::vector<std::uint64_t> estimates(config.distinct_ids);
+      for (std::size_t i = 0; i < config.distinct_ids; ++i)
+        estimates[i] = mirror.sketch().estimate(ids[i]);
+      std::vector<std::size_t> order(config.distinct_ids);
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return estimates[a] > estimates[b];
+                       });
+      for (std::size_t hi = 0, lo = config.distinct_ids - 1; hi < lo;
+           ++hi, --lo) {
+        const std::size_t rich = order[hi], poor = order[lo];
+        const std::uint64_t step = std::min(injections[rich], moved);
+        injections[rich] -= step;
+        injections[poor] += step;
+      }
+    }
+  }
+  return compose_attack_stream(base_counts, ids, injections, config.seed);
+}
+
+// ---------------------------------------------------------------------------
+// Round adversaries
+// ---------------------------------------------------------------------------
+
+void StaticFloodAdversary::push_ids(std::size_t from, std::size_t,
+                                    Xoshiro256& rng,
+                                    std::vector<NodeId>& out) {
+  // Exactly the built-in flood: one next_below draw per pushed id, no draw
+  // when the pool is empty (the member pushes its own id instead).
+  for (std::size_t f = 0; f < flood_factor_; ++f)
+    out.push_back(pool_.empty() ? static_cast<NodeId>(from)
+                                : pool_[rng.next_below(pool_.size())]);
+}
+
+void EstimateProbingAdversary::begin_round(const GossipNetwork& net) {
+  if (config_.intensity <= 0.0 || pool_.size() < 2) return;
+  // The victim's output stream is gossiped, hence observable: ids the
+  // victim emits rarely are the ones its sketch under-counts (highest
+  // insertion probability a_j) — exactly where injections pay off most.
+  const FrequencyHistogram& seen_by_victim =
+      net.service(config_.victim).output_histogram();
+  std::vector<std::uint64_t> emitted(pool_.size());
+  for (std::size_t i = 0; i < pool_.size(); ++i)
+    emitted[i] = seen_by_victim.count(pool_[i]);
+  std::vector<std::size_t> order(pool_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(
+      order.begin(), order.end(),
+      [&](std::size_t a, std::size_t b) { return emitted[a] < emitted[b]; });
+  focused_.clear();
+  for (std::size_t i = 0; i < pool_.size() / 2; ++i)
+    focused_.push_back(pool_[order[i]]);
+}
+
+void EstimateProbingAdversary::push_ids(std::size_t from, std::size_t,
+                                        Xoshiro256& rng,
+                                        std::vector<NodeId>& out) {
+  for (std::size_t f = 0; f < config_.flood_factor; ++f) {
+    // Short-circuit BEFORE the bernoulli draw: at intensity 0 the RNG
+    // consumption is one next_below per id, bit-identical to the static
+    // flood.
+    if (config_.intensity > 0.0 && !focused_.empty() &&
+        rng.bernoulli(config_.intensity)) {
+      out.push_back(focused_[rng.next_below(focused_.size())]);
+    } else {
+      out.push_back(pool_.empty() ? static_cast<NodeId>(from)
+                                  : pool_[rng.next_below(pool_.size())]);
+    }
+  }
+}
+
+void EclipseFloodAdversary::begin_round(const GossipNetwork& net) {
+  const std::size_t n = net.size();
+  in_neighbourhood_.assign(n, false);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (net.is_byzantine(j) || !net.is_active(j)) continue;
+    in_neighbourhood_[j] = j == config_.victim ||
+                           net.topology().has_edge(j, config_.victim);
+  }
+  // Per-sender budgets: each byzantine member reallocates only its OWN
+  // edge budget, so A_f * boosted + N_f * reduced = degree * flood_factor
+  // holds per sender (up to rounding) — what the figure's parity claim
+  // rests on.  Pushes to byzantine neighbours count as "outside": they are
+  // spent budget under the uniform flood too.
+  const double c = std::clamp(config_.concentration, 0.0, 1.0);
+  const double flood = static_cast<double>(config_.flood_factor);
+  boosted_.assign(n, config_.flood_factor);
+  reduced_.assign(n, config_.flood_factor);
+  for (std::size_t from = 0; from < n; ++from) {
+    if (!net.is_byzantine(from) || !net.is_active(from)) continue;
+    std::size_t inside = 0, outside = 0;
+    for (const std::uint32_t to : net.topology().neighbors(from)) {
+      if (!net.is_active(to)) continue;
+      if (in_neighbourhood_[to])
+        ++inside;
+      else
+        ++outside;
+    }
+    if (inside == 0) continue;  // no edge to reallocate toward: stay uniform
+    reduced_[from] = static_cast<std::size_t>(flood * (1.0 - c) + 0.5);
+    const double ratio =
+        static_cast<double>(outside) / static_cast<double>(inside);
+    boosted_[from] = static_cast<std::size_t>(flood * (1.0 + c * ratio) + 0.5);
+  }
+}
+
+void EclipseFloodAdversary::push_ids(std::size_t from, std::size_t to,
+                                     Xoshiro256& rng,
+                                     std::vector<NodeId>& out) {
+  const std::size_t budget = to < in_neighbourhood_.size() &&
+                                     in_neighbourhood_[to]
+                                 ? boosted_[from]
+                                 : reduced_[from];
+  for (std::size_t f = 0; f < budget; ++f)
+    out.push_back(pool_.empty() ? static_cast<NodeId>(from)
+                                : pool_[rng.next_below(pool_.size())]);
+}
+
+SybilChurnAdversary::SybilChurnAdversary(SybilChurnConfig config)
+    : config_(config), next_id_(config.first_forged_id) {
+  if (config_.pool_size == 0)
+    throw std::invalid_argument("sybil churn needs a non-empty pool");
+  mint_pool();
+}
+
+void SybilChurnAdversary::mint_pool() {
+  for (std::size_t i = 0; i < config_.pool_size; ++i)
+    all_ids_.push_back(next_id_++);
+}
+
+std::span<const NodeId> SybilChurnAdversary::live_pool() const {
+  return std::span<const NodeId>(all_ids_)
+      .subspan(all_ids_.size() - config_.pool_size);
+}
+
+void SybilChurnAdversary::begin_round(const GossipNetwork&) {
+  if (config_.rotate_every > 0 && rounds_seen_ > 0 &&
+      rounds_seen_ % config_.rotate_every == 0) {
+    // Retire the live pool and pay for a fresh one: the new identities'
+    // sketch counters start at zero everywhere, so they re-enter samples
+    // with insertion probability ~1 until the sketch catches up.
+    mint_pool();
+    ++rotations_;
+  }
+  ++rounds_seen_;
+}
+
+void SybilChurnAdversary::push_ids(std::size_t, std::size_t, Xoshiro256& rng,
+                                   std::vector<NodeId>& out) {
+  const auto pool = live_pool();
+  for (std::size_t f = 0; f < config_.flood_factor; ++f)
+    out.push_back(pool[rng.next_below(pool.size())]);
+}
+
+}  // namespace unisamp

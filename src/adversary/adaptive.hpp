@@ -1,0 +1,217 @@
+// Adaptive adversaries — attack strategies the paper's static model
+// (Sec. V) cannot express: instead of committing to a fixed injection
+// profile up front, the adversary re-plans from feedback while the attack
+// runs.  The cost-model discipline of attacks.hpp still applies: every
+// strategy pays the Sybil certificate cost per DISTINCT identifier it
+// uses; adaptation only re-allocates injection volume — except identity
+// churn, whose entire point is to keep paying for fresh ids.
+//
+// Two forms, matching the two ways attacks enter the system:
+//
+//  * OFFLINE stream builders (make_estimate_probing_attack): phased
+//    re-composition of a targeted/flooding stream.  The adversary replays
+//    its candidate stream into a MIRROR sampler built with its own coins
+//    (it knows the algorithm, Sec. III-B, but not the victim's hash
+//    coefficients) and reroutes budget toward the ids its sketch currently
+//    under-counts — those are exactly the ids with the highest insertion
+//    probability a_j = min_sigma / f-hat_j.  At intensity 0 the result is
+//    bit-identical to the static make_targeted_attack / make_flooding_attack
+//    streams (differential-tested in tests/adaptive_adversary_test.cpp).
+//
+//  * ROUND adversaries for the gossip simulator: implementations of the
+//    RoundAdversary hook (sim/gossip.hpp) that byzantine members consult
+//    every round.  StaticFloodAdversary reproduces the built-in flood
+//    bit-identically (same RNG consumption); the others deviate from it
+//    only as their intensity/rotation knobs move off zero.  Phased
+//    schedules of these are driven by the scenario engine (src/scenario).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "adversary/attacks.hpp"
+#include "sim/gossip.hpp"
+#include "stream/types.hpp"
+#include "util/rng.hpp"
+
+namespace unisamp {
+
+// ---------------------------------------------------------------------------
+// Offline: estimate-probing targeted/flooding attack
+// ---------------------------------------------------------------------------
+
+/// Configuration of the offline estimate-probing attack.
+struct ProbingAttackConfig {
+  std::size_t distinct_ids = 1;   ///< Sybil budget (its L_{k,s}/E_k estimate)
+  std::uint64_t repetitions = 1;  ///< per-id injections before adaptation
+  std::size_t probe_rounds = 4;   ///< feedback iterations (0 = static)
+  /// Fraction of each id's base budget rerouted per probe round, in [0, 1].
+  /// 0 = no adaptation: the output is bit-identical to
+  /// make_targeted_attack(base_counts, distinct_ids, repetitions, seed).
+  double intensity = 0.0;
+  /// Mirror sampler dimensioning — the adversary's replica of the victim's
+  /// algorithm, run with its OWN coins (derived from `seed`).
+  std::size_t mirror_memory = 10;  ///< c of the mirror sampler
+  std::size_t mirror_width = 10;   ///< k of the mirror sketch
+  std::size_t mirror_depth = 5;    ///< s of the mirror sketch
+  std::uint64_t seed = 1;          ///< shuffle + mirror coins
+};
+
+/// Builds the attack stream: starts from the uniform targeted profile and,
+/// for each probe round, replays the candidate stream into the mirror
+/// sampler, ranks its malicious ids by sketch estimate, and moves
+/// floor(intensity * repetitions) injections from each over-counted id to
+/// its under-counted counterpart (pairing highest estimate with lowest).
+/// Total injections and distinct ids — the Sybil cost — are invariant
+/// under adaptation.
+AttackStream make_estimate_probing_attack(
+    std::span<const std::uint64_t> base_counts,
+    const ProbingAttackConfig& config);
+
+// ---------------------------------------------------------------------------
+// Round adversaries (gossip-driven)
+// ---------------------------------------------------------------------------
+
+/// Pushes nothing: the quiescent phase of an attack schedule (the network
+/// still runs its correct gossip; byzantine members stay silent).
+class QuiescentAdversary final : public RoundAdversary {
+ public:
+  void begin_round(const GossipNetwork&) override {}
+  void push_ids(std::size_t, std::size_t, Xoshiro256&,
+                std::vector<NodeId>&) override {}
+  std::span<const NodeId> malicious_ids() const override { return {}; }
+};
+
+/// The built-in static Sybil flood expressed as a RoundAdversary: every
+/// byzantine member pushes `flood_factor` ids drawn uniformly from `pool`
+/// per neighbour per round (or its own id when the pool is empty — no RNG
+/// draw, exactly like the built-in path).  This is the differential anchor:
+/// a network with this adversary installed replays bit-identically to the
+/// same network with no adversary at all.
+class StaticFloodAdversary final : public RoundAdversary {
+ public:
+  StaticFloodAdversary(std::vector<NodeId> pool, std::size_t flood_factor)
+      : pool_(std::move(pool)), flood_factor_(flood_factor) {}
+
+  void begin_round(const GossipNetwork&) override {}
+  void push_ids(std::size_t from, std::size_t, Xoshiro256& rng,
+                std::vector<NodeId>& out) override;
+  std::span<const NodeId> malicious_ids() const override { return pool_; }
+
+ private:
+  std::vector<NodeId> pool_;
+  std::size_t flood_factor_;
+};
+
+/// Estimate-probing flood: each round the adversary reads the victim's
+/// PUBLIC output histogram (its emitted sample stream — gossiped, hence
+/// observable) and identifies the half of its pool the victim's output
+/// under-represents.  Those are the ids the victim's sketch under-counts —
+/// the ones with the highest insertion probability — so each push is
+/// focused on them with probability `intensity`.  At intensity 0 the push
+/// path is bit-identical to StaticFloodAdversary (no extra RNG draws).
+struct ProbingFloodConfig {
+  std::size_t victim = 0;        ///< correct node whose output is observed
+  std::size_t flood_factor = 8;  ///< ids per neighbour per round
+  double intensity = 0.0;        ///< probability a push is focused
+};
+
+class EstimateProbingAdversary final : public RoundAdversary {
+ public:
+  EstimateProbingAdversary(std::vector<NodeId> pool, ProbingFloodConfig config)
+      : pool_(std::move(pool)), config_(config) {}
+
+  void begin_round(const GossipNetwork& net) override;
+  void push_ids(std::size_t from, std::size_t, Xoshiro256& rng,
+                std::vector<NodeId>& out) override;
+  std::span<const NodeId> malicious_ids() const override { return pool_; }
+  std::span<const NodeId> focused_ids() const { return focused_; }
+
+ private:
+  std::vector<NodeId> pool_;
+  std::vector<NodeId> focused_;  // under-represented half, re-ranked per round
+  ProbingFloodConfig config_;
+};
+
+/// Eclipse-style flood: the same per-round budget as the static flood, but
+/// concentrated on the victim's in-neighbourhood (the victim itself and its
+/// overlay neighbours), starving everyone else.  Budgets are recomputed
+/// per round and PER BYZANTINE SENDER over that sender's active overlay
+/// neighbours, so each sender's round total stays at parity (up to
+/// rounding) with the uniform flood no matter how its edges split:
+///   reduced        = flood_factor * (1 - concentration)       (elsewhere)
+///   boosted(from)  = flood_factor * (1 + concentration * N_f / A_f)
+/// where A_f / N_f count `from`'s active neighbours inside / outside the
+/// neighbourhood — A_f * boosted + N_f * reduced = degree * flood_factor
+/// exactly (before rounding).  A sender with no edge into the
+/// neighbourhood cannot reallocate and keeps the uniform budget.
+/// Concentration 0 degenerates to the static flood.
+struct EclipseConfig {
+  std::size_t victim = 0;
+  std::size_t flood_factor = 8;
+  double concentration = 0.0;  ///< in [0, 1]
+};
+
+class EclipseFloodAdversary final : public RoundAdversary {
+ public:
+  EclipseFloodAdversary(std::vector<NodeId> pool, EclipseConfig config)
+      : pool_(std::move(pool)), config_(config) {}
+
+  void begin_round(const GossipNetwork& net) override;
+  void push_ids(std::size_t from, std::size_t to, Xoshiro256& rng,
+                std::vector<NodeId>& out) override;
+  std::span<const NodeId> malicious_ids() const override { return pool_; }
+
+  /// This round's budgets for sender `from` (exposed for tests).
+  std::size_t boosted_budget(std::size_t from) const {
+    return boosted_[from];
+  }
+  std::size_t reduced_budget(std::size_t from) const {
+    return reduced_[from];
+  }
+
+ private:
+  std::vector<NodeId> pool_;
+  EclipseConfig config_;
+  std::vector<bool> in_neighbourhood_;   // per node, rebuilt each round
+  std::vector<std::size_t> boosted_;     // per sender, rebuilt each round
+  std::vector<std::size_t> reduced_;     // per sender, rebuilt each round
+};
+
+/// Sybil identity churn: the forged pool is retired and re-minted every
+/// `rotate_every` rounds, so malicious ids keep re-entering under fresh
+/// identities whose sketch counters start at zero — high insertion
+/// probability by construction, at the price of an ever-growing Sybil bill
+/// (malicious_ids() accumulates every identity ever minted).
+struct SybilChurnConfig {
+  std::size_t pool_size = 4;      ///< live identities at any time
+  std::size_t rotate_every = 0;   ///< rounds between rotations (0 = never)
+  std::size_t flood_factor = 8;   ///< ids per neighbour per round
+  NodeId first_forged_id = 0;     ///< fresh ids are minted upward from here
+};
+
+class SybilChurnAdversary final : public RoundAdversary {
+ public:
+  explicit SybilChurnAdversary(SybilChurnConfig config);
+
+  void begin_round(const GossipNetwork& net) override;
+  void push_ids(std::size_t from, std::size_t, Xoshiro256& rng,
+                std::vector<NodeId>& out) override;
+  std::span<const NodeId> malicious_ids() const override { return all_ids_; }
+
+  /// The currently live pool (the last `pool_size` minted ids).
+  std::span<const NodeId> live_pool() const;
+  std::size_t rotations() const { return rotations_; }
+
+ private:
+  void mint_pool();
+
+  SybilChurnConfig config_;
+  std::vector<NodeId> all_ids_;  // every identity ever minted, in order
+  NodeId next_id_;
+  std::size_t rotations_ = 0;
+  std::size_t rounds_seen_ = 0;
+};
+
+}  // namespace unisamp

@@ -15,29 +15,42 @@ SybilBudget::SybilBudget(NodeId first_id, std::size_t count) {
     ids_.push_back(first_id + static_cast<NodeId>(i));
 }
 
-namespace {
-// Builds the interleaved stream from legitimate counts over [0, n) plus
-// per-malicious-id injection counts.
-AttackStream compose(std::span<const std::uint64_t> base_counts,
-                     std::span<const NodeId> malicious_ids,
-                     std::uint64_t repetitions, std::uint64_t seed) {
+AttackStream compose_attack_stream(std::span<const std::uint64_t> base_counts,
+                                   std::span<const NodeId> malicious_ids,
+                                   std::span<const std::uint64_t> injections,
+                                   std::uint64_t seed) {
+  if (malicious_ids.size() != injections.size())
+    throw std::invalid_argument(
+        "one injection count per malicious id required");
   AttackStream out;
   out.malicious_ids.assign(malicious_ids.begin(), malicious_ids.end());
   std::uint64_t total = 0;
   for (auto c : base_counts) total += c;
-  total += repetitions * malicious_ids.size();
+  for (auto c : injections) total += c;
   out.stream.reserve(total);
   for (std::size_t id = 0; id < base_counts.size(); ++id)
     for (std::uint64_t rep = 0; rep < base_counts[id]; ++rep)
       out.stream.push_back(static_cast<NodeId>(id));
-  for (NodeId mid : malicious_ids)
-    for (std::uint64_t rep = 0; rep < repetitions; ++rep)
-      out.stream.push_back(mid);
-  out.injected = repetitions * malicious_ids.size();
+  for (std::size_t i = 0; i < malicious_ids.size(); ++i) {
+    for (std::uint64_t rep = 0; rep < injections[i]; ++rep)
+      out.stream.push_back(malicious_ids[i]);
+    out.injected += injections[i];
+  }
   Xoshiro256 rng(seed);
   for (std::size_t i = out.stream.size(); i > 1; --i)
     std::swap(out.stream[i - 1], out.stream[rng.next_below(i)]);
   return out;
+}
+
+namespace {
+// Uniform-repetition composition: `repetitions` occurrences of every
+// malicious id.
+AttackStream compose(std::span<const std::uint64_t> base_counts,
+                     std::span<const NodeId> malicious_ids,
+                     std::uint64_t repetitions, std::uint64_t seed) {
+  const std::vector<std::uint64_t> injections(malicious_ids.size(),
+                                              repetitions);
+  return compose_attack_stream(base_counts, malicious_ids, injections, seed);
 }
 }  // namespace
 

@@ -48,6 +48,19 @@ struct AttackStream {
   std::uint64_t injected = 0;          ///< total malicious occurrences
 };
 
+/// Generalized composition primitive behind every synthetic attack stream:
+/// the legitimate base counts plus `injections[i]` occurrences of
+/// `malicious_ids[i]`, interleaved by a seeded Fisher-Yates shuffle.  The
+/// pre-shuffle layout is base-id-major then malicious-id-major and the
+/// shuffle consumes the same RNG sequence as the uniform-repetition
+/// attacks below, so uniform `injections` reproduce make_targeted_attack /
+/// make_flooding_attack bit-identically — the anchor the adaptive
+/// strategies (adversary/adaptive.hpp) are differential-tested against.
+AttackStream compose_attack_stream(std::span<const std::uint64_t> base_counts,
+                                   std::span<const NodeId> malicious_ids,
+                                   std::span<const std::uint64_t> injections,
+                                   std::uint64_t seed);
+
 /// Peak attack: `peak_injections` occurrences of a single malicious id on
 /// top of `base_counts` (legitimate per-id counts for ids [0, n)).
 AttackStream make_peak_attack(std::span<const std::uint64_t> base_counts,

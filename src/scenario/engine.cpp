@@ -1,0 +1,160 @@
+#include "scenario/engine.hpp"
+
+#include <stdexcept>
+
+#include "adversary/adaptive.hpp"
+#include "sim/churn.hpp"
+
+namespace unisamp::scenario {
+
+namespace {
+ScenarioSpec validated(ScenarioSpec spec) {
+  validate(spec);
+  return spec;
+}
+}  // namespace
+
+ScenarioEngine::ScenarioEngine(ScenarioSpec spec)
+    : spec_(validated(std::move(spec))),
+      net_(spec_.topology.build(spec_.gossip.seed), spec_.gossip,
+           spec_.sampler),
+      malicious_set_(2 * (spec_.gossip.byzantine_count +
+                          spec_.gossip.forged_id_count) +
+                     16),
+      next_sybil_base_(static_cast<NodeId>(spec_.topology.nodes) +
+                       (1ULL << 32) +
+                       static_cast<NodeId>(spec_.gossip.forged_id_count)) {
+  // The baseline malicious population: the byzantine members' own ids
+  // (what they push when no forged pool exists) plus the static pool.
+  std::vector<NodeId> base;
+  for (std::size_t i = 0; i < spec_.gossip.byzantine_count; ++i)
+    base.push_back(static_cast<NodeId>(i));
+  for (const NodeId id : net_.forged_ids()) base.push_back(id);
+  note_malicious(base);
+}
+
+void ScenarioEngine::note_malicious(std::span<const NodeId> ids) {
+  for (const NodeId id : ids) {
+    if (malicious_set_.contains(id)) continue;
+    malicious_set_.insert(id);
+    malicious_ids_.push_back(id);
+  }
+}
+
+namespace {
+// Clears the network's non-owning adversary pointer even when a round
+// throws mid-phase (e.g. an omniscient sampler fed a forged id) — the
+// phase-local adversary is destroyed on unwind and must not stay
+// installed.  Declared after the adversary at the installation site, so
+// it runs first.
+struct AdversaryGuard {
+  GossipNetwork& net;
+  ~AdversaryGuard() { net.set_adversary(nullptr); }
+};
+}  // namespace
+
+std::unique_ptr<RoundAdversary> ScenarioEngine::make_adversary(
+    const AttackPhase& phase) {
+  const std::vector<NodeId>& pool = net_.forged_ids();
+  switch (phase.kind) {
+    case AttackKind::kQuiescent:
+      return std::make_unique<QuiescentAdversary>();
+    case AttackKind::kStaticFlood:
+      return std::make_unique<StaticFloodAdversary>(
+          pool, spec_.gossip.flood_factor);
+    case AttackKind::kEstimateProbing:
+      return std::make_unique<EstimateProbingAdversary>(
+          pool, ProbingFloodConfig{spec_.victim, spec_.gossip.flood_factor,
+                                   phase.intensity});
+    case AttackKind::kEclipseFlood:
+      return std::make_unique<EclipseFloodAdversary>(
+          pool, EclipseConfig{spec_.victim, spec_.gossip.flood_factor,
+                              phase.intensity});
+    case AttackKind::kSybilChurn: {
+      SybilChurnConfig cfg;
+      // A live pool the size of the static one, minted ABOVE it so fresh
+      // identities never collide with real nodes or the static forged ids.
+      cfg.pool_size = std::max<std::size_t>(spec_.gossip.forged_id_count, 1);
+      cfg.rotate_every = phase.rotate_every;
+      cfg.flood_factor = spec_.gossip.flood_factor;
+      cfg.first_forged_id = next_sybil_base_;
+      // Reserve this phase's whole mint range (initial pool + one per
+      // rotation) so a LATER churn phase starts on genuinely fresh ids —
+      // re-minting warm identities would undercut both the attack and the
+      // Sybil bill it is supposed to pay.
+      const std::size_t rotations =
+          phase.rotate_every > 0 && phase.rounds > 0
+              ? (phase.rounds - 1) / phase.rotate_every
+              : 0;
+      next_sybil_base_ +=
+          static_cast<NodeId>(cfg.pool_size * (1 + rotations));
+      return std::make_unique<SybilChurnAdversary>(cfg);
+    }
+  }
+  throw std::invalid_argument("unknown attack kind");
+}
+
+MeasurePoint ScenarioEngine::measure(std::size_t round,
+                                     std::size_t phase) const {
+  MeasurePoint point;
+  point.round = round;
+  point.phase = phase;
+  double bad = 0.0, total = 0.0;
+  double victim_bad = 0.0, victim_total = 0.0;
+  double mem_bad = 0.0, mem_total = 0.0;
+  for (std::size_t i = spec_.gossip.byzantine_count; i < net_.size(); ++i) {
+    const SamplingService& service = net_.service(i);
+    const FrequencyHistogram& hist = service.output_histogram();
+    double node_bad = 0.0;
+    for (const NodeId id : malicious_ids_)
+      node_bad += static_cast<double>(hist.count(id));
+    bad += node_bad;
+    total += static_cast<double>(hist.total());
+    if (i == spec_.victim) {
+      victim_bad = node_bad;
+      victim_total = static_cast<double>(hist.total());
+    }
+    for (const NodeId id : service.sampler().memory()) {
+      mem_total += 1.0;
+      if (malicious_set_.contains(id)) mem_bad += 1.0;
+    }
+  }
+  point.output_pollution = total > 0.0 ? bad / total : 0.0;
+  point.victim_output_pollution =
+      victim_total > 0.0 ? victim_bad / victim_total : 0.0;
+  point.memory_pollution = mem_total > 0.0 ? mem_bad / mem_total : 0.0;
+  point.distinct_malicious = static_cast<double>(malicious_ids_.size());
+  return point;
+}
+
+ScenarioRunReport ScenarioEngine::run() {
+  if (ran_) throw std::logic_error("ScenarioEngine::run is one-shot");
+  ran_ = true;
+  ScenarioRunReport report;
+  if (spec_.churn) {
+    // Pre-T0: the built-in static byzantine behaviour runs during churn
+    // (the schedule models the POST-stabilisation attack campaign).
+    report.churn_events = run_churn_phase(net_, *spec_.churn);
+  }
+  std::size_t round = 0;  // post-T0 round counter (churn rounds excluded)
+  for (std::size_t p = 0; p < spec_.schedule.size(); ++p) {
+    const AttackPhase& phase = spec_.schedule[p];
+    const std::unique_ptr<RoundAdversary> adversary = make_adversary(phase);
+    const AdversaryGuard guard{net_};  // destroyed before `adversary`
+    net_.set_adversary(adversary.get());
+    for (std::size_t r = 0; r < phase.rounds; ++r) {
+      net_.run_round();
+      note_malicious(adversary->malicious_ids());
+      ++round;
+      const bool phase_end = r + 1 == phase.rounds;
+      const bool cadence_hit =
+          spec_.measure_every > 0 && round % spec_.measure_every == 0;
+      if (phase_end || cadence_hit)
+        report.points.push_back(measure(round, p));
+    }
+  }
+  report.delivered = net_.delivered();
+  return report;
+}
+
+}  // namespace unisamp::scenario

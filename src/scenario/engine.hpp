@@ -1,0 +1,85 @@
+// Scenario engine: runs a declarative ScenarioSpec end-to-end.
+//
+// Construction builds the overlay and the gossip network; run() executes
+// the optional pre-T0 churn phase and then the attack schedule, installing
+// the right RoundAdversary (adversary/adaptive.hpp) for each phase and
+// recording a deterministic metrics row at every measure point.  A
+// scenario is simultaneously a workload (rounds through the batched gossip
+// hot path), a reproducible figure (rows are checksummable — the bench/
+// adaptive artefacts are thin wrappers over this class) and a regression
+// surface (the figure-perf CI gate).
+//
+// Contracts:
+//  - Determinism: run() output is a pure function of the spec.  Metrics
+//    only read RNG-free state (output histograms, sampler memories) —
+//    SamplingService::sample() is never called — so measuring does not
+//    perturb the run, and any measure_every cadence observes the same
+//    network evolution.
+//  - One-shot: run() may be called once; the network is consumed by it.
+//  - Thread-safety: none; one engine per thread.  (Trial averaging across
+//    engines parallelizes fine — each owns its world.)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "scenario/spec.hpp"
+#include "sim/gossip.hpp"
+#include "util/flat_set.hpp"
+
+namespace unisamp::scenario {
+
+/// One metrics row.
+struct MeasurePoint {
+  std::size_t round = 0;  ///< post-T0 rounds completed at measurement time
+  std::size_t phase = 0;  ///< schedule phase index
+  /// Malicious share of all correct nodes' output streams (cumulative).
+  double output_pollution = 0.0;
+  /// Same, restricted to the victim.
+  double victim_output_pollution = 0.0;
+  /// Malicious share of the correct nodes' current sample memories Γ.
+  double memory_pollution = 0.0;
+  /// Distinct malicious identifiers used so far — the Sybil bill.
+  double distinct_malicious = 0.0;
+};
+
+struct ScenarioRunReport {
+  std::vector<MeasurePoint> points;  ///< in measurement order
+  std::size_t churn_events = 0;      ///< pre-T0 join/leave toggles
+  std::uint64_t delivered = 0;       ///< total ids delivered to correct nodes
+};
+
+class ScenarioEngine {
+ public:
+  /// Validates the spec (scenario::validate) and builds the network.
+  explicit ScenarioEngine(ScenarioSpec spec);
+
+  /// Executes churn + the attack schedule; one-shot.
+  ScenarioRunReport run();
+
+  /// The underlying network (e.g. for post-run inspection in tests).
+  const GossipNetwork& network() const { return net_; }
+  GossipNetwork& network() { return net_; }
+
+  const ScenarioSpec& spec() const { return spec_; }
+
+ private:
+  std::unique_ptr<RoundAdversary> make_adversary(const AttackPhase& phase);
+  void note_malicious(std::span<const NodeId> ids);
+  MeasurePoint measure(std::size_t round, std::size_t phase) const;
+
+  ScenarioSpec spec_;
+  GossipNetwork net_;
+  // Every malicious identifier seen so far: the byzantine members' own ids,
+  // the static forged pool, and whatever the phase adversaries mint.
+  std::vector<NodeId> malicious_ids_;
+  FlatIdSet malicious_set_;
+  // Next fresh identity for a kSybilChurn phase: advanced past each churn
+  // phase's whole mint range so a later churn phase pays for genuinely new
+  // ids instead of re-minting warm ones.
+  NodeId next_sybil_base_;
+  bool ran_ = false;
+};
+
+}  // namespace unisamp::scenario

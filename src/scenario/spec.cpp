@@ -1,0 +1,85 @@
+#include "scenario/spec.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace unisamp::scenario {
+
+Topology TopologySpec::build(std::uint64_t seed) const {
+  switch (kind) {
+    case Kind::kComplete:
+      return Topology::complete(nodes);
+    case Kind::kRing:
+      return Topology::ring(nodes, degree);
+    case Kind::kRandomRegular:
+      return Topology::random_regular(nodes, degree,
+                                      derive_seed(seed, 0x7090));
+    case Kind::kSmallWorld:
+      return Topology::small_world(nodes, degree, beta,
+                                   derive_seed(seed, 0x7090));
+  }
+  throw std::invalid_argument("unknown topology kind");
+}
+
+std::string_view to_string(TopologySpec::Kind kind) {
+  switch (kind) {
+    case TopologySpec::Kind::kComplete:
+      return "complete";
+    case TopologySpec::Kind::kRing:
+      return "ring";
+    case TopologySpec::Kind::kRandomRegular:
+      return "random-regular";
+    case TopologySpec::Kind::kSmallWorld:
+      return "small-world";
+  }
+  return "?";
+}
+
+std::string_view to_string(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kQuiescent:
+      return "quiescent";
+    case AttackKind::kStaticFlood:
+      return "static-flood";
+    case AttackKind::kEstimateProbing:
+      return "estimate-probing";
+    case AttackKind::kEclipseFlood:
+      return "eclipse-flood";
+    case AttackKind::kSybilChurn:
+      return "sybil-churn";
+  }
+  return "?";
+}
+
+void validate(const ScenarioSpec& spec) {
+  if (spec.topology.nodes == 0)
+    throw std::invalid_argument(spec.name + ": topology needs nodes");
+  if (spec.gossip.byzantine_count >= spec.topology.nodes)
+    throw std::invalid_argument(spec.name +
+                                ": at least one correct node required");
+  if (spec.victim < spec.gossip.byzantine_count ||
+      spec.victim >= spec.topology.nodes)
+    throw std::invalid_argument(spec.name +
+                                ": victim must be a correct node");
+  if (spec.schedule.empty())
+    throw std::invalid_argument(spec.name + ": empty attack schedule");
+  for (const AttackPhase& phase : spec.schedule) {
+    if (phase.rounds == 0)
+      throw std::invalid_argument(spec.name +
+                                  ": schedule phase with zero rounds");
+    if (phase.intensity < 0.0 || phase.intensity > 1.0)
+      throw std::invalid_argument(spec.name +
+                                  ": phase intensity outside [0, 1]");
+    const bool needs_pool = phase.kind == AttackKind::kStaticFlood ||
+                            phase.kind == AttackKind::kEstimateProbing ||
+                            phase.kind == AttackKind::kEclipseFlood;
+    if (needs_pool && spec.gossip.byzantine_count > 0 &&
+        spec.gossip.forged_id_count == 0)
+      throw std::invalid_argument(
+          spec.name + ": flooding phases need a forged id pool "
+                      "(gossip.forged_id_count > 0)");
+  }
+}
+
+}  // namespace unisamp::scenario

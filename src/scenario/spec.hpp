@@ -1,0 +1,94 @@
+// Declarative scenario specifications for the adaptive-adversary engine.
+//
+// A ScenarioSpec composes the four orthogonal axes of a network experiment
+// into one value the engine (engine.hpp) can run end-to-end:
+//
+//   topology  x  churn schedule  x  sampler strategy  x  attack schedule
+//
+// The attack schedule is a sequence of phases, each installing one of the
+// RoundAdversary strategies from adversary/adaptive.hpp for a number of
+// rounds — so a single spec can express "calm network, then a static
+// flood, then the adversary adapts, then it churns identities", which the
+// paper's fixed-stream model (Sec. V) cannot.  Everything is a plain
+// aggregate: a spec is data, diffable and trivially embeddable in figure
+// definitions (bench/) and examples.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/sampling_service.hpp"
+#include "sim/churn.hpp"
+#include "sim/gossip.hpp"
+#include "sim/topology.hpp"
+
+namespace unisamp::scenario {
+
+/// Which overlay family the network runs on (Sec. III-C only requires weak
+/// connectivity; the family is an experimental axis).
+struct TopologySpec {
+  enum class Kind { kComplete, kRing, kRandomRegular, kSmallWorld };
+
+  Kind kind = Kind::kComplete;
+  std::size_t nodes = 40;
+  std::size_t degree = 4;  ///< ring k / random-regular d / small-world k
+  double beta = 0.1;       ///< small-world rewire probability
+
+  /// Materializes the overlay; `seed` feeds the randomized families.
+  Topology build(std::uint64_t seed) const;
+};
+
+std::string_view to_string(TopologySpec::Kind kind);
+
+/// Which adversary strategy a schedule phase installs.
+enum class AttackKind {
+  kQuiescent,        ///< byzantine members stay silent
+  kStaticFlood,      ///< the paper's static Sybil flood (Sec. III-B)
+  kEstimateProbing,  ///< flood focused on the victim's under-counted ids
+  kEclipseFlood,     ///< flood concentrated on the victim's neighbourhood
+  kSybilChurn,       ///< forged pool re-minted on a rotation schedule
+};
+
+std::string_view to_string(AttackKind kind);
+
+/// One phase of the attack schedule.
+struct AttackPhase {
+  AttackKind kind = AttackKind::kStaticFlood;
+  std::size_t rounds = 0;
+  /// Strategy knob: probing focus probability / eclipse concentration,
+  /// in [0, 1].  0 degenerates every adaptive strategy to the static
+  /// flood (bit-identically — differential-tested).
+  double intensity = 0.0;
+  /// Sybil churn only: rounds between identity rotations (0 = never).
+  std::size_t rotate_every = 0;
+};
+
+/// The full declarative scenario.
+struct ScenarioSpec {
+  std::string name = "scenario";
+  TopologySpec topology;
+  /// Gossip parameters; `gossip.seed` is the master seed of the whole run
+  /// (topology build, per-node service coins, network RNG).
+  GossipConfig gossip;
+  ServiceConfig sampler;
+  /// Optional pre-T0 churn phase (runs before the attack schedule; the
+  /// paper's model stabilises membership at T0, Sec. III-C).
+  std::optional<ChurnConfig> churn;
+  /// The correct node the probing/eclipse strategies aim at and the
+  /// per-victim metrics track.
+  std::size_t victim = 0;
+  std::vector<AttackPhase> schedule;
+  /// Rounds between metric rows inside a phase; 0 = one row at each phase
+  /// end only.
+  std::size_t measure_every = 0;
+};
+
+/// Validates the cross-field invariants (victim correct and in range,
+/// schedule non-empty with positive rounds, adaptive phases backed by a
+/// forged pool, intensities in [0, 1]).  Throws std::invalid_argument.
+void validate(const ScenarioSpec& spec);
+
+}  // namespace unisamp::scenario

@@ -77,6 +77,7 @@ const Stream& GossipNetwork::input_stream(std::size_t node) const {
 }
 
 void GossipNetwork::run_round() {
+  if (adversary_ != nullptr) adversary_->begin_round(*this);
   for (std::size_t from = 0; from < nodes_.size(); ++from) {
     if (!active_[from]) continue;
     const auto neighbors = topology_.neighbors(from);
@@ -85,7 +86,15 @@ void GossipNetwork::run_round() {
     for (std::uint32_t to : neighbors) {
       if (!active_[to]) continue;
       if (is_byzantine(from)) {
-        // Sybil flood: forged ids (or own id if no forged pool).
+        if (adversary_ != nullptr) {
+          // Adaptive path: the installed strategy decides what this
+          // byzantine member pushes, drawing from the network RNG.
+          adversary_scratch_.clear();
+          adversary_->push_ids(from, to, rng_, adversary_scratch_);
+          for (const NodeId id : adversary_scratch_) deliver(to, id);
+          continue;
+        }
+        // Static Sybil flood: forged ids (or own id if no forged pool).
         for (std::size_t f = 0; f < config_.flood_factor; ++f) {
           const NodeId forged =
               forged_ids_.empty()

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/sampling_service.hpp"
@@ -25,6 +26,40 @@
 #include "util/rng.hpp"
 
 namespace unisamp {
+
+class GossipNetwork;
+
+/// Adaptive-adversary hook.  When installed via
+/// GossipNetwork::set_adversary(), byzantine members delegate their
+/// per-neighbour pushes to this interface instead of the built-in static
+/// Sybil flood, so colluding strategies can re-plan every round from
+/// feedback (the victim's public output, activity, topology).
+/// Implementations live in src/adversary/adaptive.hpp; the engine driving
+/// phased schedules of them is src/scenario.
+///
+/// Contracts:
+///  - Determinism: push_ids must draw all randomness from the `rng` it is
+///    handed (the network RNG), so the round replays bit-identically.
+///  - Feedback boundary: begin_round gets a CONST view of the network and
+///    must only call const accessors that consume no service RNG
+///    (output_histogram(), sampler().memory(), topology(), is_active()) —
+///    never SamplingService::sample().
+class RoundAdversary {
+ public:
+  virtual ~RoundAdversary() = default;
+
+  /// Called once at the top of every round, before any send.
+  virtual void begin_round(const GossipNetwork& net) = 0;
+
+  /// Appends the ids byzantine node `from` pushes to neighbour `to` this
+  /// round (append-only; the network clears `out` between calls).
+  virtual void push_ids(std::size_t from, std::size_t to, Xoshiro256& rng,
+                        std::vector<NodeId>& out) = 0;
+
+  /// Every malicious id the strategy has used so far — the Sybil cost
+  /// actually paid.  Grows over time under identity churn.
+  virtual std::span<const NodeId> malicious_ids() const = 0;
+};
 
 struct GossipConfig {
   std::size_t fanout = 3;          ///< ids pushed per neighbour per round
@@ -96,6 +131,13 @@ class GossipNetwork {
   /// Ids of the forged identity pool (empty if forged_id_count == 0).
   const std::vector<NodeId>& forged_ids() const { return forged_ids_; }
 
+  /// Installs (or clears, with nullptr) the adaptive-adversary hook.
+  /// Non-owning: the adversary must outlive the rounds it drives.  With no
+  /// adversary installed byzantine behaviour is the built-in static flood —
+  /// bit-identical to what this class always did.
+  void set_adversary(RoundAdversary* adversary) { adversary_ = adversary; }
+  const RoundAdversary* adversary() const { return adversary_; }
+
   /// Input stream of a correct node (requires record_inputs).
   const Stream& input_stream(std::size_t node) const;
 
@@ -121,6 +163,8 @@ class GossipNetwork {
   std::vector<NodeState> nodes_;
   std::vector<bool> active_;
   std::vector<NodeId> forged_ids_;
+  RoundAdversary* adversary_ = nullptr;
+  Stream adversary_scratch_;  // per-(from,to) push buffer, reused
   Xoshiro256 rng_;
   std::uint64_t delivered_ = 0;
   std::size_t rounds_ = 0;

@@ -1,0 +1,312 @@
+// Adaptive adversary strategies (src/adversary/adaptive.hpp):
+//  - the offline estimate-probing attack at intensity 0 reproduces the
+//    static make_targeted_attack / make_flooding_attack streams
+//    BIT-IDENTICALLY (the differential anchor of the adaptive layer);
+//  - adaptation preserves the Sybil cost model: distinct ids and total
+//    injections are invariant, only the per-id allocation moves;
+//  - the RoundAdversary hook: a network with StaticFloodAdversary (and
+//    every adaptive strategy at zero intensity) installed replays
+//    bit-identically to the built-in static flood;
+//  - strategy-specific behaviour: probing focuses on the victim's
+//    under-represented ids, eclipse boosts the victim neighbourhood's
+//    budget at parity, sybil churn mints fresh identities on schedule.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "adversary/adaptive.hpp"
+#include "adversary/attacks.hpp"
+#include "sim/gossip.hpp"
+#include "sim/topology.hpp"
+#include "stream/histogram.hpp"
+
+namespace unisamp {
+namespace {
+
+std::vector<std::uint64_t> uniform_base(std::size_t n, std::uint64_t count) {
+  return std::vector<std::uint64_t>(n, count);
+}
+
+TEST(ComposeAttackStreamTest, UniformInjectionsMatchStaticComposers) {
+  const auto base = uniform_base(100, 20);
+  SybilBudget budget(100, 10);
+  const std::vector<std::uint64_t> injections(10, 50);
+  const AttackStream general =
+      compose_attack_stream(base, budget.ids(), injections, 13);
+  const AttackStream targeted = make_targeted_attack(base, 10, 50, 13);
+  EXPECT_EQ(general.stream, targeted.stream);
+  EXPECT_EQ(general.malicious_ids, targeted.malicious_ids);
+  EXPECT_EQ(general.injected, targeted.injected);
+}
+
+TEST(ComposeAttackStreamTest, PerIdCountsAreHonoured) {
+  const auto base = uniform_base(10, 1);
+  const std::vector<NodeId> ids = {100, 101, 102};
+  const std::vector<std::uint64_t> injections = {5, 0, 7};
+  const AttackStream out = compose_attack_stream(base, ids, injections, 1);
+  EXPECT_EQ(out.injected, 12u);
+  EXPECT_EQ(out.stream.size(), 10u + 12u);
+  FrequencyHistogram hist;
+  hist.add_stream(out.stream);
+  EXPECT_EQ(hist.count(100), 5u);
+  EXPECT_EQ(hist.count(101), 0u);
+  EXPECT_EQ(hist.count(102), 7u);
+}
+
+TEST(ComposeAttackStreamTest, RejectsMismatchedSpans) {
+  const auto base = uniform_base(4, 1);
+  const std::vector<NodeId> ids = {7, 8};
+  const std::vector<std::uint64_t> injections = {1};
+  EXPECT_THROW(compose_attack_stream(base, ids, injections, 1),
+               std::invalid_argument);
+}
+
+TEST(EstimateProbingAttackTest, ZeroIntensityIsBitIdenticalToStaticAttacks) {
+  const auto base = uniform_base(200, 40);
+  ProbingAttackConfig cfg;
+  cfg.distinct_ids = 40;
+  cfg.repetitions = 80;
+  cfg.probe_rounds = 3;  // ignored at intensity 0 — no mirror is built
+  cfg.intensity = 0.0;
+  cfg.seed = 5;
+  const AttackStream adaptive = make_estimate_probing_attack(base, cfg);
+  const AttackStream targeted = make_targeted_attack(base, 40, 80, 5);
+  const AttackStream flooding = make_flooding_attack(base, 40, 80, 5);
+  EXPECT_EQ(adaptive.stream, targeted.stream);
+  EXPECT_EQ(adaptive.stream, flooding.stream);
+  EXPECT_EQ(adaptive.malicious_ids, targeted.malicious_ids);
+  EXPECT_EQ(adaptive.injected, targeted.injected);
+}
+
+TEST(EstimateProbingAttackTest, AdaptationMovesBudgetButNotTheSybilBill) {
+  const auto base = uniform_base(200, 40);
+  ProbingAttackConfig cfg;
+  cfg.distinct_ids = 40;
+  cfg.repetitions = 80;
+  cfg.probe_rounds = 3;
+  cfg.intensity = 0.5;
+  cfg.seed = 5;
+  const AttackStream adaptive = make_estimate_probing_attack(base, cfg);
+  const AttackStream statically = make_targeted_attack(base, 40, 80, 5);
+  // Same cost: same distinct ids, same total injections, same length.
+  EXPECT_EQ(adaptive.malicious_ids, statically.malicious_ids);
+  EXPECT_EQ(adaptive.injected, statically.injected);
+  EXPECT_EQ(adaptive.stream.size(), statically.stream.size());
+  // Different allocation: at least one malicious id gained and one lost.
+  FrequencyHistogram hist;
+  hist.add_stream(adaptive.stream);
+  std::uint64_t min_count = cfg.repetitions, max_count = cfg.repetitions;
+  for (const NodeId id : adaptive.malicious_ids) {
+    min_count = std::min(min_count, hist.count(id));
+    max_count = std::max(max_count, hist.count(id));
+  }
+  EXPECT_LT(min_count, cfg.repetitions);
+  EXPECT_GT(max_count, cfg.repetitions);
+  EXPECT_NE(adaptive.stream, statically.stream);
+}
+
+TEST(EstimateProbingAttackTest, RejectsBadConfigs) {
+  const auto base = uniform_base(10, 1);
+  ProbingAttackConfig cfg;
+  cfg.distinct_ids = 0;
+  EXPECT_THROW(make_estimate_probing_attack(base, cfg), std::invalid_argument);
+  cfg.distinct_ids = 2;
+  cfg.intensity = 1.5;
+  EXPECT_THROW(make_estimate_probing_attack(base, cfg), std::invalid_argument);
+}
+
+// --- RoundAdversary hook ---------------------------------------------------
+
+GossipConfig flood_config(std::uint64_t seed = 7) {
+  GossipConfig cfg;
+  cfg.fanout = 2;
+  cfg.seed = seed;
+  cfg.byzantine_count = 4;
+  cfg.flood_factor = 6;
+  cfg.forged_id_count = 4;
+  cfg.record_inputs = true;
+  return cfg;
+}
+
+void expect_networks_identical(GossipNetwork& a, GossipNetwork& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.delivered(), b.delivered());
+  for (std::size_t i = 4; i < a.size(); ++i) {
+    EXPECT_EQ(a.service(i).output_stream(), b.service(i).output_stream())
+        << "node " << i;
+    EXPECT_EQ(a.input_stream(i), b.input_stream(i)) << "node " << i;
+  }
+}
+
+TEST(RoundAdversaryTest, StaticFloodAdversaryIsBitIdenticalToBuiltin) {
+  const GossipConfig cfg = flood_config();
+  ServiceConfig scfg;
+  GossipNetwork builtin(Topology::complete(20), cfg, scfg);
+  GossipNetwork hooked(Topology::complete(20), cfg, scfg);
+  StaticFloodAdversary adversary(hooked.forged_ids(), cfg.flood_factor);
+  hooked.set_adversary(&adversary);
+  builtin.run_rounds(30);
+  hooked.run_rounds(30);
+  expect_networks_identical(builtin, hooked);
+}
+
+TEST(RoundAdversaryTest, ZeroIntensityAdaptiveStrategiesMatchBuiltin) {
+  const GossipConfig cfg = flood_config();
+  ServiceConfig scfg;
+  GossipNetwork builtin(Topology::complete(20), cfg, scfg);
+  builtin.run_rounds(30);
+
+  GossipNetwork probed(Topology::complete(20), cfg, scfg);
+  EstimateProbingAdversary probing(
+      probed.forged_ids(), ProbingFloodConfig{19, cfg.flood_factor, 0.0});
+  probed.set_adversary(&probing);
+  probed.run_rounds(30);
+  expect_networks_identical(builtin, probed);
+
+  GossipNetwork eclipsed(Topology::complete(20), cfg, scfg);
+  EclipseFloodAdversary eclipse(
+      eclipsed.forged_ids(), EclipseConfig{19, cfg.flood_factor, 0.0});
+  eclipsed.set_adversary(&eclipse);
+  eclipsed.run_rounds(30);
+  expect_networks_identical(builtin, eclipsed);
+}
+
+TEST(RoundAdversaryTest, QuiescentAdversarySilencesByzantineMembers) {
+  const GossipConfig cfg = flood_config();
+  ServiceConfig scfg;
+  GossipNetwork net(Topology::complete(20), cfg, scfg);
+  QuiescentAdversary quiet;
+  net.set_adversary(&quiet);
+  net.run_rounds(10);
+  for (std::size_t i = 4; i < net.size(); ++i) {
+    const FrequencyHistogram& hist = net.service(i).output_histogram();
+    for (const NodeId forged : net.forged_ids())
+      EXPECT_EQ(hist.count(forged), 0u) << "node " << i;
+  }
+}
+
+TEST(EstimateProbingAdversaryTest, FullIntensityPushesOnlyFocusedIds) {
+  const GossipConfig cfg = flood_config();
+  ServiceConfig scfg;
+  GossipNetwork net(Topology::complete(20), cfg, scfg);
+  // Warm the victim's output so the ranking has signal.
+  net.run_rounds(5);
+  EstimateProbingAdversary probing(
+      net.forged_ids(), ProbingFloodConfig{19, cfg.flood_factor, 1.0});
+  probing.begin_round(net);
+  ASSERT_EQ(probing.focused_ids().size(), net.forged_ids().size() / 2);
+  Xoshiro256 rng(3);
+  std::vector<NodeId> out;
+  probing.push_ids(0, 5, rng, out);
+  ASSERT_EQ(out.size(), cfg.flood_factor);
+  const auto focused = probing.focused_ids();
+  for (const NodeId id : out)
+    EXPECT_NE(std::find(focused.begin(), focused.end(), id), focused.end());
+}
+
+// Overlay where byzantine node 0 has edges both into and out of the
+// victim's neighbourhood (victim 10, neighbourhood {9, 10, 11}) and
+// byzantine node 1 has none into it.
+Topology eclipse_topology() {
+  Topology topo(20);
+  topo.add_edge(10, 9);
+  topo.add_edge(10, 11);
+  topo.add_edge(0, 10);  // byz 0 -> victim          (inside)
+  topo.add_edge(0, 11);  // byz 0 -> victim neighbour (inside)
+  topo.add_edge(0, 15);  // byz 0 -> far node         (outside)
+  topo.add_edge(0, 16);  // byz 0 -> far node         (outside)
+  topo.add_edge(1, 15);  // byz 1: no edge into the neighbourhood
+  return topo;
+}
+
+TEST(EclipseFloodAdversaryTest, BudgetsConcentrateOnVictimNeighbourhood) {
+  const GossipConfig cfg = flood_config();  // flood_factor = 6
+  ServiceConfig scfg;
+  GossipNetwork net(eclipse_topology(), cfg, scfg);
+  EclipseFloodAdversary eclipse(
+      net.forged_ids(), EclipseConfig{10, cfg.flood_factor, 0.8});
+  eclipse.begin_round(net);
+  // Sender 0 splits 2 inside / 2 outside: reduced = 6*0.2+0.5 = 1,
+  // boosted = 6*(1+0.8*2/2)+0.5 = 11 — per-sender parity
+  // 2*11 + 2*1 = 24 = 4 edges * flood 6.
+  EXPECT_EQ(eclipse.reduced_budget(0), 1u);
+  EXPECT_EQ(eclipse.boosted_budget(0), 11u);
+  EXPECT_EQ(2 * eclipse.boosted_budget(0) + 2 * eclipse.reduced_budget(0),
+            4 * cfg.flood_factor);
+  // Sender 1 has no edge into the neighbourhood: nothing to reallocate,
+  // the uniform budget stands.
+  EXPECT_EQ(eclipse.reduced_budget(1), cfg.flood_factor);
+  EXPECT_EQ(eclipse.boosted_budget(1), cfg.flood_factor);
+
+  Xoshiro256 rng(3);
+  std::vector<NodeId> out;
+  eclipse.push_ids(0, /*to=*/10, rng, out);  // the victim itself
+  EXPECT_EQ(out.size(), eclipse.boosted_budget(0));
+  out.clear();
+  eclipse.push_ids(0, /*to=*/11, rng, out);  // a victim neighbour
+  EXPECT_EQ(out.size(), eclipse.boosted_budget(0));
+  out.clear();
+  eclipse.push_ids(0, /*to=*/15, rng, out);  // far from the victim
+  EXPECT_EQ(out.size(), eclipse.reduced_budget(0));
+}
+
+TEST(EclipseFloodAdversaryTest, ZeroConcentrationKeepsUniformBudgets) {
+  const GossipConfig cfg = flood_config();
+  ServiceConfig scfg;
+  GossipNetwork net(eclipse_topology(), cfg, scfg);
+  EclipseFloodAdversary eclipse(
+      net.forged_ids(), EclipseConfig{10, cfg.flood_factor, 0.0});
+  eclipse.begin_round(net);
+  for (const std::size_t from : {0u, 1u}) {
+    EXPECT_EQ(eclipse.reduced_budget(from), cfg.flood_factor);
+    EXPECT_EQ(eclipse.boosted_budget(from), cfg.flood_factor);
+  }
+}
+
+TEST(SybilChurnAdversaryTest, RotationSchedulePaysForFreshIdentities) {
+  SybilChurnConfig cfg;
+  cfg.pool_size = 4;
+  cfg.rotate_every = 10;
+  cfg.flood_factor = 5;
+  cfg.first_forged_id = 1000;
+  SybilChurnAdversary churn(cfg);
+  EXPECT_EQ(churn.malicious_ids().size(), 4u);
+
+  const GossipConfig gcfg = flood_config();
+  ServiceConfig scfg;
+  GossipNetwork net(Topology::complete(10), gcfg, scfg);
+  net.set_adversary(&churn);
+  net.run_rounds(25);
+  // Rotations at rounds 10 and 20: three pools paid for in total.
+  EXPECT_EQ(churn.rotations(), 2u);
+  EXPECT_EQ(churn.malicious_ids().size(), 12u);
+  const auto live = churn.live_pool();
+  ASSERT_EQ(live.size(), 4u);
+  EXPECT_EQ(live.front(), 1008u);  // third minting starts at 1000 + 2*4
+
+  // Correct nodes have seen retired identities that are no longer live.
+  const FrequencyHistogram& hist = net.service(5).output_histogram();
+  EXPECT_GT(hist.count(1000), 0u);
+}
+
+TEST(SybilChurnAdversaryTest, NoRotationBehavesLikeAStaticPool) {
+  SybilChurnConfig cfg;
+  cfg.pool_size = 3;
+  cfg.rotate_every = 0;
+  cfg.flood_factor = 4;
+  cfg.first_forged_id = 500;
+  SybilChurnAdversary churn(cfg);
+
+  const GossipConfig gcfg = flood_config();
+  ServiceConfig scfg;
+  GossipNetwork net(Topology::complete(10), gcfg, scfg);
+  net.set_adversary(&churn);
+  net.run_rounds(30);
+  EXPECT_EQ(churn.rotations(), 0u);
+  EXPECT_EQ(churn.malicious_ids().size(), 3u);
+}
+
+}  // namespace
+}  // namespace unisamp

@@ -1,0 +1,99 @@
+// Golden checksums for the adaptive-adversary figure artefacts
+// (bench/adaptive_probing, eclipse_flood, sybil_churn, attack_schedule).
+//
+// Each figure's --quick series is pinned per row AND as a whole at the
+// figure's default seed: these are the exact checksums the committed
+// bench_results_reference/ sidecars carry and the figures-smoke CI gate
+// compares, so a drift here and a drift in CI are the same event.  The
+// suite also pins thread-count invariance (the adaptive_probing trials run
+// on the util/parallel pool) and seed sensitivity.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bench_harness/figure.hpp"
+#include "figures.hpp"
+#include "util/parallel.hpp"
+
+namespace unisamp::bench_harness {
+namespace {
+
+struct Golden {
+  figures::FigureDef (*make)();
+  std::uint64_t series_checksum;
+  std::vector<std::uint64_t> row_checksums;
+};
+
+// Golden values for (--quick, figure default seed), recorded on the
+// reference machine; bit-stable across machines and thread counts.
+const Golden kGolden[] = {
+    {figures::make_adaptive_probing,
+     5860451176483214087ull,
+     {7891466987740309597ull, 207664614309315448ull}},
+    {figures::make_eclipse_flood,
+     6473450577198399907ull,
+     {16369907978058892592ull, 12637211732272049594ull}},
+    {figures::make_sybil_churn,
+     5383987526331783124ull,
+     {10278370323216722105ull, 8051550321844545039ull}},
+    {figures::make_attack_schedule,
+     15662499469803965789ull,
+     {15716119119294680058ull, 18177131431478796741ull,
+      16426679135349650397ull, 8269765020650497941ull,
+      16410175575954962068ull}},
+};
+
+FigureSeries compute_quick(const figures::FigureDef& def,
+                           std::uint64_t seed) {
+  FigureContext ctx;
+  ctx.quick = true;
+  ctx.seed = seed;
+  FigureSeries series;
+  series.columns = def.columns;
+  def.compute(ctx, series);
+  return series;
+}
+
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { set_trial_threads(0); }
+};
+
+TEST(AdaptiveFigureGoldenTest, QuickSeriesMatchesPinnedChecksums) {
+  for (const Golden& golden : kGolden) {
+    const figures::FigureDef def = golden.make();
+    const FigureSeries series = compute_quick(def, def.seed);
+    ASSERT_EQ(series.rows.size(), golden.row_checksums.size()) << def.slug;
+    for (std::size_t i = 0; i < series.rows.size(); ++i)
+      EXPECT_EQ(series.row_checksum(i), golden.row_checksums[i])
+          << def.slug << " row " << i;
+    EXPECT_EQ(series.checksum(), golden.series_checksum) << def.slug;
+  }
+}
+
+TEST(AdaptiveFigureGoldenTest, ChecksumsAreThreadCountInvariant) {
+  ThreadCountGuard guard;
+  for (const Golden& golden : kGolden) {
+    const figures::FigureDef def = golden.make();
+    set_trial_threads(1);
+    const FigureSeries serial = compute_quick(def, def.seed);
+    for (const std::size_t threads : {2u, 4u}) {
+      set_trial_threads(threads);
+      const FigureSeries pooled = compute_quick(def, def.seed);
+      ASSERT_EQ(serial.rows.size(), pooled.rows.size()) << def.slug;
+      EXPECT_EQ(serial.checksum(), pooled.checksum())
+          << def.slug << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(AdaptiveFigureGoldenTest, SeedMovesEveryChecksum) {
+  for (const Golden& golden : kGolden) {
+    const figures::FigureDef def = golden.make();
+    const FigureSeries moved = compute_quick(def, def.seed + 101);
+    EXPECT_NE(moved.checksum(), golden.series_checksum) << def.slug;
+  }
+}
+
+}  // namespace
+}  // namespace unisamp::bench_harness

@@ -1,0 +1,205 @@
+// Scenario subsystem (src/scenario): spec validation, topology building,
+// and the engine's contracts — determinism, the zero-intensity schedule's
+// bit-identity with a plain static-flood network, measurement cadence,
+// phase bookkeeping, churn integration, and the growing Sybil bill under
+// identity churn.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "scenario/engine.hpp"
+#include "scenario/spec.hpp"
+#include "sim/gossip.hpp"
+#include "sim/topology.hpp"
+
+namespace unisamp::scenario {
+namespace {
+
+ScenarioSpec base_spec() {
+  ScenarioSpec spec;
+  spec.name = "test";
+  spec.topology.kind = TopologySpec::Kind::kComplete;
+  spec.topology.nodes = 20;
+  spec.gossip.fanout = 2;
+  spec.gossip.seed = 7;
+  spec.gossip.byzantine_count = 4;
+  spec.gossip.flood_factor = 6;
+  spec.gossip.forged_id_count = 4;
+  // Small sketch so min_sigma leaves zero within a few rounds (the default
+  // k=10/s=5 sketch never fills all counters over this 20-id population
+  // and the sampler's memory would stay frozen — see knowledge_free_sampler.hpp).
+  spec.sampler.memory_size = 8;
+  spec.sampler.sketch_width = 6;
+  spec.sampler.sketch_depth = 4;
+  spec.victim = 19;
+  spec.schedule = {{AttackKind::kStaticFlood, 30, 0.0, 0}};
+  return spec;
+}
+
+TEST(ScenarioSpecTest, ValidateRejectsBadSpecs) {
+  ScenarioSpec spec = base_spec();
+  spec.victim = 2;  // byzantine
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+
+  spec = base_spec();
+  spec.schedule.clear();
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+
+  spec = base_spec();
+  spec.schedule[0].rounds = 0;
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+
+  spec = base_spec();
+  spec.schedule[0].intensity = 1.5;
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+
+  spec = base_spec();
+  spec.gossip.forged_id_count = 0;
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+
+  EXPECT_NO_THROW(validate(base_spec()));
+}
+
+TEST(ScenarioSpecTest, TopologyKindsBuild) {
+  TopologySpec topo;
+  topo.nodes = 16;
+  topo.degree = 2;
+  for (const TopologySpec::Kind kind :
+       {TopologySpec::Kind::kComplete, TopologySpec::Kind::kRing,
+        TopologySpec::Kind::kRandomRegular, TopologySpec::Kind::kSmallWorld}) {
+    topo.kind = kind;
+    const Topology t = topo.build(3);
+    EXPECT_EQ(t.size(), 16u) << to_string(kind);
+    EXPECT_GT(t.edge_count(), 0u) << to_string(kind);
+  }
+  EXPECT_EQ(to_string(TopologySpec::Kind::kSmallWorld), "small-world");
+  EXPECT_EQ(to_string(AttackKind::kSybilChurn), "sybil-churn");
+}
+
+TEST(ScenarioEngineTest, ZeroIntensityScheduleMatchesPlainStaticFlood) {
+  const ScenarioSpec spec = base_spec();
+  ScenarioEngine engine(spec);
+  engine.run();
+
+  GossipNetwork plain(Topology::complete(20), spec.gossip, spec.sampler);
+  plain.run_rounds(30);
+  for (std::size_t i = 4; i < 20; ++i)
+    EXPECT_EQ(engine.network().service(i).output_stream(),
+              plain.service(i).output_stream())
+        << "node " << i;
+  EXPECT_EQ(engine.network().delivered(), plain.delivered());
+}
+
+TEST(ScenarioEngineTest, RunIsDeterministicAndOneShot) {
+  ScenarioSpec spec = base_spec();
+  spec.schedule = {{AttackKind::kStaticFlood, 10, 0.0, 0},
+                   {AttackKind::kEstimateProbing, 10, 0.7, 0},
+                   {AttackKind::kEclipseFlood, 10, 0.7, 0}};
+  ScenarioEngine a(spec);
+  ScenarioEngine b(spec);
+  const ScenarioRunReport ra = a.run();
+  const ScenarioRunReport rb = b.run();
+  ASSERT_EQ(ra.points.size(), rb.points.size());
+  for (std::size_t i = 0; i < ra.points.size(); ++i) {
+    EXPECT_EQ(ra.points[i].round, rb.points[i].round);
+    EXPECT_EQ(ra.points[i].output_pollution, rb.points[i].output_pollution);
+    EXPECT_EQ(ra.points[i].memory_pollution, rb.points[i].memory_pollution);
+  }
+  EXPECT_EQ(ra.delivered, rb.delivered);
+  EXPECT_THROW(a.run(), std::logic_error);
+}
+
+TEST(ScenarioEngineTest, MeasurementCadenceAndPhaseIndices) {
+  ScenarioSpec spec = base_spec();
+  spec.schedule = {{AttackKind::kQuiescent, 10, 0.0, 0},
+                   {AttackKind::kStaticFlood, 10, 0.0, 0}};
+  spec.measure_every = 4;
+  ScenarioEngine engine(spec);
+  const ScenarioRunReport report = engine.run();
+  // Cadence rows at rounds 4, 8, 12, 16, 20 plus phase ends at 10 and 20
+  // (20 is both — recorded once).
+  ASSERT_EQ(report.points.size(), 6u);
+  EXPECT_EQ(report.points[0].round, 4u);
+  EXPECT_EQ(report.points[0].phase, 0u);
+  EXPECT_EQ(report.points[2].round, 10u);  // phase-end row
+  EXPECT_EQ(report.points[2].phase, 0u);
+  EXPECT_EQ(report.points.back().round, 20u);
+  EXPECT_EQ(report.points.back().phase, 1u);
+
+  // Quiescent phase: no forged ids anywhere in the correct outputs.
+  EXPECT_EQ(report.points[2].victim_output_pollution, 0.0);
+  // Static flood phase: pollution appears.
+  EXPECT_GT(report.points.back().output_pollution, 0.0);
+}
+
+TEST(ScenarioEngineTest, DefaultCadenceIsOneRowPerPhase) {
+  ScenarioSpec spec = base_spec();
+  spec.schedule = {{AttackKind::kStaticFlood, 5, 0.0, 0},
+                   {AttackKind::kEclipseFlood, 5, 0.9, 0}};
+  ScenarioEngine engine(spec);
+  const ScenarioRunReport report = engine.run();
+  ASSERT_EQ(report.points.size(), 2u);
+  EXPECT_EQ(report.points[0].round, 5u);
+  EXPECT_EQ(report.points[1].round, 10u);
+}
+
+TEST(ScenarioEngineTest, SybilChurnGrowsTheDistinctMaliciousBill) {
+  ScenarioSpec spec = base_spec();
+  spec.schedule = {{AttackKind::kStaticFlood, 10, 0.0, 0},
+                   {AttackKind::kSybilChurn, 20, 0.0, /*rotate_every=*/5}};
+  ScenarioEngine engine(spec);
+  const ScenarioRunReport report = engine.run();
+  ASSERT_EQ(report.points.size(), 2u);
+  // Baseline bill: 4 byzantine ids + 4 static forged ids.
+  EXPECT_EQ(report.points[0].distinct_malicious, 8.0);
+  // The churn phase mints a fresh pool of 4 at rounds 5, 10 and 15 of the
+  // phase on top of the initial one: 8 + 4 * 4 = 24.
+  EXPECT_EQ(report.points[1].distinct_malicious, 24.0);
+}
+
+TEST(ScenarioEngineTest, RepeatedSybilChurnPhasesMintFreshIdentities) {
+  ScenarioSpec spec = base_spec();
+  spec.schedule = {{AttackKind::kSybilChurn, 10, 0.0, /*rotate_every=*/5},
+                   {AttackKind::kSybilChurn, 10, 0.0, /*rotate_every=*/5}};
+  ScenarioEngine engine(spec);
+  const ScenarioRunReport report = engine.run();
+  ASSERT_EQ(report.points.size(), 2u);
+  // Each phase mints pool(4) + one rotation at its round 5 = 8 fresh ids;
+  // the second phase must NOT re-mint the first phase's (warm) identities.
+  EXPECT_EQ(report.points[0].distinct_malicious, 8.0 + 8.0);
+  EXPECT_EQ(report.points[1].distinct_malicious, 8.0 + 16.0);
+}
+
+TEST(ScenarioEngineTest, ThrowingRoundClearsTheInstalledAdversary) {
+  ScenarioSpec spec = base_spec();
+  // An omniscient sampler has probabilities only for real ids; the first
+  // forged id delivered makes the service throw mid-phase.
+  spec.sampler = ServiceConfig{};
+  spec.sampler.strategy = Strategy::kOmniscient;
+  spec.sampler.known_probabilities.assign(20, 1.0 / 20.0);
+  ScenarioEngine engine(spec);
+  EXPECT_THROW(engine.run(), std::exception);
+  // The phase-local adversary died on unwind; the network must not keep a
+  // dangling pointer to it.
+  EXPECT_EQ(engine.network().adversary(), nullptr);
+}
+
+TEST(ScenarioEngineTest, ChurnPhaseRunsBeforeTheSchedule) {
+  ScenarioSpec spec = base_spec();
+  ChurnConfig churn;
+  churn.pre_t0_rounds = 20;
+  churn.seed = 9;
+  spec.churn = churn;
+  ScenarioEngine engine(spec);
+  const ScenarioRunReport report = engine.run();
+  EXPECT_GT(report.churn_events, 0u);
+  // Post-T0 rounds still counted from zero in the measurement rows.
+  ASSERT_FALSE(report.points.empty());
+  EXPECT_EQ(report.points.back().round, 30u);
+  // Churn rounds also delivered ids.
+  EXPECT_GT(engine.network().rounds_run(), 30u);
+}
+
+}  // namespace
+}  // namespace unisamp::scenario
