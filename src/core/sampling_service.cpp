@@ -55,7 +55,6 @@ NodeId SamplingService::on_receive(NodeId id) {
 void SamplingService::on_receive_stream(std::span<const NodeId> ids) {
   if (ids.empty()) return;
   Stream& sink = config_.record_output ? output_ : batch_scratch_;
-  if (!config_.record_output) batch_scratch_.clear();
   const std::size_t start = sink.size();
   try {
     sampler_->process_stream(ids, sink);
@@ -66,10 +65,15 @@ void SamplingService::on_receive_stream(std::span<const NodeId> ids) {
     const auto emitted = std::span(sink).subspan(start);
     histogram_.add_stream(emitted);
     processed_ += emitted.size();
+    // Eagerly drop the aborted batch from the scratch sink so its ids can
+    // never leak into a later batch's histogram accounting — the scratch
+    // is a landing zone, not state, and must be empty between batches.
+    if (!config_.record_output) batch_scratch_.clear();
     throw;
   }
   histogram_.add_stream(std::span(sink).subspan(start));
   processed_ += ids.size();
+  if (!config_.record_output) batch_scratch_.clear();
 }
 
 std::optional<NodeId> SamplingService::sample() {

@@ -1,0 +1,92 @@
+// Bounded single-producer/single-consumer ring queue.
+//
+// The ingestion fabric of the sharded sampling service
+// (src/core/sharded_service.hpp): every (producer, shard) pair owns one
+// queue, so each end is touched by exactly one thread and the queue needs
+// no locks — a power-of-two ring indexed by two monotonically increasing
+// counters, with a close flag for end-of-stream.
+//
+// Memory ordering: the producer publishes a slot with a release store of
+// tail_, the consumer acquires it before reading the slot (and vice versa
+// for head_ when freeing slots).  close() is a release store issued after
+// the final push, so a consumer that observes closed() == true and then
+// drains until try_pop fails has seen every element.  Each side caches the
+// opposite index and refreshes it only when the cached view says
+// full/empty, so the steady state costs one relaxed load + one release
+// store per operation.
+//
+// Contracts:
+//  - Capacity: rounded up to a power of two, at least 2; push never blocks
+//    (try_push returns false when full) — callers spin/yield.
+//  - Thread-safety: exactly one producer thread (try_push/close) and one
+//    consumer thread (try_pop) at a time; closed() is safe from both.
+//  - Determinism: FIFO — elements pop in exactly push order.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace unisamp {
+
+template <typename T>
+class BoundedSpscQueue {
+ public:
+  explicit BoundedSpscQueue(std::size_t min_capacity)
+      : slots_(capacity_for(min_capacity)), mask_(slots_.size() - 1) {}
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Producer side.  False when the ring is full (retry after yielding).
+  bool try_push(const T& value) noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ >= slots_.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ >= slots_.size()) return false;
+    }
+    slots_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  False when the ring is empty (element may still be in
+  /// flight unless closed() — see class comment for the drain protocol).
+  bool try_pop(T& out) noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer signals end-of-stream; must follow the final try_push.
+  void close() noexcept { closed_.store(true, std::memory_order_release); }
+
+  /// Once true, a drain loop that pops until try_pop fails has seen every
+  /// element (close() is ordered after the last push).
+  bool closed() const noexcept {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static std::size_t capacity_for(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    return cap;
+  }
+
+  std::vector<T> slots_;
+  std::size_t mask_;
+  // Producer-owned line: its index plus its cached view of the consumer's.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t cached_head_ = 0;
+  // Consumer-owned line, symmetric.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t cached_tail_ = 0;
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+}  // namespace unisamp

@@ -16,6 +16,7 @@
 //  - Thread-safety: none; concurrent const access is safe.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -39,8 +40,11 @@ class FlatIdSet {
   }
 
   /// Precondition: id is not present (the samplers only insert after a
-  /// failed contains()).  Inserting a duplicate would store it twice.
+  /// failed contains()).  Inserting a duplicate would store it twice and
+  /// double-count size_; debug builds assert, release trusts the caller.
   void insert(std::uint64_t id) {
+    assert(!contains(id) &&
+           "FlatIdSet::insert precondition violated: duplicate id");
     if (4 * (size_ + 1) > keys_.size()) grow();
     std::size_t i = index_of(id);
     while (full_[i]) i = (i + 1) & mask_;
@@ -52,9 +56,29 @@ class FlatIdSet {
   /// Precondition: id is present.  Backward-shift deletion: every element
   /// in the probe run after the hole that is displaced from its ideal slot
   /// moves one step back, so lookups never cross a stale gap.
+  ///
+  /// An absent id would make the release-mode probe loop walk stale keys
+  /// forever (erased slots keep their key bytes, only full_ is reset);
+  /// debug builds bound the scan and reject matches on non-full slots.
   void erase(std::uint64_t id) noexcept {
     std::size_t hole = index_of(id);
-    while (keys_[hole] != id) hole = (hole + 1) & mask_;
+#ifndef NDEBUG
+    std::size_t probes = 0;
+#endif
+    while (keys_[hole] != id) {
+#ifndef NDEBUG
+      // An empty slot terminates every probe run: walking past one means
+      // the id was never inserted.  The occupancy-scan bound catches the
+      // pathological fully-wrapped run.
+      assert(full_[hole] &&
+             "FlatIdSet::erase precondition violated: id not present");
+      assert(++probes <= mask_ &&
+             "FlatIdSet::erase precondition violated: probe scan wrapped");
+#endif
+      hole = (hole + 1) & mask_;
+    }
+    assert(full_[hole] &&
+           "FlatIdSet::erase precondition violated: matched a stale slot");
     std::size_t j = hole;
     while (true) {
       j = (j + 1) & mask_;

@@ -14,9 +14,11 @@ namespace {
 
 std::atomic<std::size_t> g_thread_override{0};
 
-// Largest worker count the env var may request; anything above this (or
-// negative, or non-numeric) falls back to automatic resolution rather than
-// spawning an absurd number of threads.
+// Largest worker count the env var may request: values above the cap are
+// CLAMPED to it (the user asked for "many threads"; 1024 is closer to that
+// intent than silently reverting to hardware_concurrency).  Negative or
+// non-numeric values are rejected and fall back to automatic resolution.
+// Keep this in sync with the trial_threads() doc in parallel.hpp.
 constexpr std::size_t kMaxEnvThreads = 1024;
 
 std::size_t env_threads() {
@@ -28,8 +30,10 @@ std::size_t env_threads() {
   errno = 0;
   char* end = nullptr;
   const unsigned long parsed = std::strtoul(p, &end, 10);
-  if (end == p || *end != '\0' || errno == ERANGE) return 0;
-  if (parsed > kMaxEnvThreads) return kMaxEnvThreads;
+  if (end == p || *end != '\0') return 0;
+  // Out-of-range values are still "above the cap": clamp them like any
+  // other oversized request instead of silently ignoring the variable.
+  if (errno == ERANGE || parsed > kMaxEnvThreads) return kMaxEnvThreads;
   return static_cast<std::size_t>(parsed);
 }
 

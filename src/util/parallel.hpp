@@ -24,7 +24,9 @@ namespace unisamp {
 
 /// Number of worker threads `parallel_for_index` uses.  Resolution order:
 /// the last `set_trial_threads` value if non-zero, else the
-/// UNISAMP_THREADS environment variable if set to a positive integer, else
+/// UNISAMP_THREADS environment variable if set to a positive integer
+/// (leading whitespace tolerated; values above 1024 are clamped to 1024;
+/// zero, negative, or non-numeric values are ignored), else
 /// `std::thread::hardware_concurrency()` (at least 1).
 std::size_t trial_threads();
 

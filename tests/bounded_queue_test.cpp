@@ -1,0 +1,108 @@
+// Tests of the SPSC bounded ring queue (util/bounded_queue.hpp) — the
+// ingestion fabric of the sharded sampling service.  The load-bearing
+// properties: strict FIFO order across the producer/consumer boundary, no
+// loss and no duplication under concurrency, and the close() protocol (a
+// consumer that observes closed() and then drains until try_pop fails has
+// seen every element).
+#include "util/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace unisamp {
+namespace {
+
+TEST(BoundedQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(BoundedSpscQueue<std::uint64_t>(1).capacity(), 2u);
+  EXPECT_EQ(BoundedSpscQueue<std::uint64_t>(2).capacity(), 2u);
+  EXPECT_EQ(BoundedSpscQueue<std::uint64_t>(3).capacity(), 4u);
+  EXPECT_EQ(BoundedSpscQueue<std::uint64_t>(4096).capacity(), 4096u);
+  EXPECT_EQ(BoundedSpscQueue<std::uint64_t>(4097).capacity(), 8192u);
+}
+
+TEST(BoundedQueueTest, FifoOrderSingleThreaded) {
+  BoundedSpscQueue<std::uint64_t> q(8);
+  for (std::uint64_t v = 0; v < 8; ++v) EXPECT_TRUE(q.try_push(v));
+  std::uint64_t out = 0;
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, v);
+  }
+  EXPECT_FALSE(q.try_pop(out));
+}
+
+TEST(BoundedQueueTest, PushFailsWhenFullPopFailsWhenEmpty) {
+  BoundedSpscQueue<std::uint64_t> q(4);
+  std::uint64_t out = 0;
+  EXPECT_FALSE(q.try_pop(out));
+  for (std::uint64_t v = 0; v < 4; ++v) ASSERT_TRUE(q.try_push(v));
+  EXPECT_FALSE(q.try_push(99));
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 0u);
+  // The freed slot is reusable: the ring wraps.
+  EXPECT_TRUE(q.try_push(99));
+  EXPECT_FALSE(q.try_push(100));
+}
+
+TEST(BoundedQueueTest, WrapsManyTimesWithoutCorruption) {
+  BoundedSpscQueue<std::uint64_t> q(4);
+  std::uint64_t out = 0;
+  for (std::uint64_t v = 0; v < 1000; ++v) {
+    ASSERT_TRUE(q.try_push(v));
+    ASSERT_TRUE(q.try_pop(out));
+    ASSERT_EQ(out, v);
+  }
+}
+
+TEST(BoundedQueueTest, CloseIsObservableAndDoesNotDropElements) {
+  BoundedSpscQueue<std::uint64_t> q(8);
+  EXPECT_FALSE(q.closed());
+  ASSERT_TRUE(q.try_push(7));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  std::uint64_t out = 0;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 7u);
+  EXPECT_FALSE(q.try_pop(out));
+}
+
+// The concurrent contract: one producer pushes a known sequence (spinning
+// on full), one consumer drains with the documented close protocol; the
+// consumer must observe exactly the sequence, in order.  A small capacity
+// forces constant full/empty boundary crossings — the racy regime the
+// acquire/release pairs exist for (the TSan CI leg checks the same code
+// for data races).
+TEST(BoundedQueueTest, SpscStressPreservesSequence) {
+  constexpr std::uint64_t kCount = 200'000;
+  BoundedSpscQueue<std::uint64_t> q(16);
+
+  std::vector<std::uint64_t> seen;
+  seen.reserve(kCount);
+  std::thread consumer([&] {
+    std::uint64_t v = 0;
+    for (;;) {
+      while (q.try_pop(v)) seen.push_back(v);
+      if (q.closed()) {
+        while (q.try_pop(v)) seen.push_back(v);
+        break;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  for (std::uint64_t v = 0; v < kCount; ++v) {
+    while (!q.try_push(v)) std::this_thread::yield();
+  }
+  q.close();
+  consumer.join();
+
+  ASSERT_EQ(seen.size(), kCount);
+  for (std::uint64_t v = 0; v < kCount; ++v)
+    ASSERT_EQ(seen[v], v) << "position " << v;
+}
+
+}  // namespace
+}  // namespace unisamp

@@ -1,0 +1,95 @@
+// FlatIdSet semantics plus its documented preconditions: insert requires
+// the id absent, erase requires it present.  Violations corrupt the table
+// in release builds (duplicate insert double-counts size_; erase of an
+// absent id walks stale keys), so debug builds assert — exercised here as
+// death tests, compiled out under NDEBUG like the assertions themselves.
+#include "util/flat_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace unisamp {
+namespace {
+
+TEST(FlatSetTest, InsertContainsEraseRoundTrip) {
+  FlatIdSet set(8);
+  EXPECT_EQ(set.size(), 0u);
+  for (std::uint64_t id : {3u, 17u, 0u, 999u}) {
+    EXPECT_FALSE(set.contains(id));
+    set.insert(id);
+    EXPECT_TRUE(set.contains(id));
+  }
+  EXPECT_EQ(set.size(), 4u);
+  set.erase(17);
+  EXPECT_FALSE(set.contains(17));
+  EXPECT_TRUE(set.contains(3));
+  EXPECT_TRUE(set.contains(0));
+  EXPECT_TRUE(set.contains(999));
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(FlatSetTest, GrowsPastExpectedCapacity) {
+  FlatIdSet set(4);
+  for (std::uint64_t id = 0; id < 1000; ++id) set.insert(id * 7919);
+  EXPECT_EQ(set.size(), 1000u);
+  for (std::uint64_t id = 0; id < 1000; ++id)
+    ASSERT_TRUE(set.contains(id * 7919));
+  EXPECT_FALSE(set.contains(1));
+}
+
+// Churn against a reference set: backward-shift deletion must keep every
+// surviving id reachable through arbitrary insert/erase interleavings.
+TEST(FlatSetTest, ChurnMatchesReferenceSet) {
+  FlatIdSet set(16);
+  std::unordered_set<std::uint64_t> reference;
+  Xoshiro256 rng(42);
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t id = rng.next_below(256);  // dense domain → collisions
+    if (reference.count(id)) {
+      set.erase(id);
+      reference.erase(id);
+    } else {
+      set.insert(id);
+      reference.insert(id);
+    }
+    ASSERT_EQ(set.size(), reference.size());
+  }
+  for (std::uint64_t id = 0; id < 256; ++id)
+    ASSERT_EQ(set.contains(id), reference.count(id) != 0) << "id " << id;
+}
+
+#ifndef NDEBUG
+// The precondition assertions only exist in debug builds (release keeps
+// the hot path untouched); so do these death tests.
+TEST(FlatSetDeathTest, DuplicateInsertAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  FlatIdSet set(8);
+  set.insert(7);
+  EXPECT_DEATH(set.insert(7), "duplicate id");
+}
+
+TEST(FlatSetDeathTest, EraseAbsentIdAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  FlatIdSet set(8);
+  set.insert(7);
+  // Without the debug bound this loops forever (or matches a stale slot).
+  EXPECT_DEATH(set.erase(8), "not present|probe scan wrapped|stale slot");
+}
+
+TEST(FlatSetDeathTest, EraseAfterEraseAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  FlatIdSet set(8);
+  set.insert(7);
+  set.erase(7);
+  // The erased slot keeps its key bytes — only full_ is reset — so this is
+  // exactly the stale-slot hazard the debug assertions reject.
+  EXPECT_DEATH(set.erase(7), "not present|probe scan wrapped|stale slot");
+}
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace unisamp

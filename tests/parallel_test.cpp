@@ -10,8 +10,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -129,6 +133,105 @@ TEST(ParallelTest, ThreadCountOverrideAndReset) {
   EXPECT_EQ(trial_threads(), 3u);
   set_trial_threads(0);
   EXPECT_GE(trial_threads(), 1u);
+}
+
+/// Saves and restores UNISAMP_THREADS (the CI matrix exports it, so these
+/// tests must not leak their values into later suites in this process).
+class EnvVarGuard {
+ public:
+  EnvVarGuard() {
+    const char* value = std::getenv("UNISAMP_THREADS");
+    if (value != nullptr) saved_ = value;
+  }
+  ~EnvVarGuard() {
+    if (saved_.has_value())
+      setenv("UNISAMP_THREADS", saved_->c_str(), 1);
+    else
+      unsetenv("UNISAMP_THREADS");
+  }
+
+ private:
+  std::optional<std::string> saved_;
+};
+
+std::size_t threads_with_env(const char* value) {
+  setenv("UNISAMP_THREADS", value, 1);
+  return trial_threads();
+}
+
+// The documented UNISAMP_THREADS contract (parallel.hpp): positive values
+// honoured, values above 1024 CLAMPED to 1024 (not ignored), leading
+// whitespace tolerated, and zero / negative / non-numeric values ignored
+// in favour of automatic resolution.
+TEST(ParallelTest, EnvThreadCountBoundaries) {
+  ThreadCountGuard guard;
+  EnvVarGuard env_guard;
+  set_trial_threads(0);  // env var only matters without an override
+
+  unsetenv("UNISAMP_THREADS");
+  const std::size_t automatic = trial_threads();
+  EXPECT_GE(automatic, 1u);
+
+  EXPECT_EQ(threads_with_env("8"), 8u);
+  EXPECT_EQ(threads_with_env(" \t8"), 8u);  // leading whitespace tolerated
+  EXPECT_EQ(threads_with_env("1024"), 1024u);  // cap itself passes through
+  EXPECT_EQ(threads_with_env("1025"), 1024u);  // above the cap: clamped
+  EXPECT_EQ(threads_with_env("999999999999999999999"), 1024u);  // ERANGE too
+
+  // Rejected values fall back to automatic resolution, never to 0 threads.
+  EXPECT_EQ(threads_with_env("0"), automatic);
+  EXPECT_EQ(threads_with_env("-1"), automatic);
+  EXPECT_EQ(threads_with_env("abc"), automatic);
+  EXPECT_EQ(threads_with_env("8abc"), automatic);  // trailing junk rejected
+  EXPECT_EQ(threads_with_env(""), automatic);
+}
+
+TEST(ParallelTest, OverrideWinsOverEnv) {
+  ThreadCountGuard guard;
+  EnvVarGuard env_guard;
+  setenv("UNISAMP_THREADS", "16", 1);
+  set_trial_threads(3);
+  EXPECT_EQ(trial_threads(), 3u);
+  set_trial_threads(0);
+  EXPECT_EQ(trial_threads(), 16u);
+}
+
+// set_trial_threads / trial_threads / parallel_for_index may interleave
+// freely from different threads: the worker count is latched once at entry,
+// so a concurrent retarget must never lose, duplicate, or crash an index.
+// (The TSan CI leg runs this same test under -fsanitize=thread.)
+TEST(ParallelTest, ConcurrentRetargetingKeepsEveryIndexExactlyOnce) {
+  ThreadCountGuard guard;
+  constexpr std::size_t kCount = 512;
+  constexpr int kRounds = 20;
+
+  std::atomic<bool> stop{false};
+  std::thread hammer([&] {
+    std::uint64_t x = 1;
+    while (!stop.load()) {
+      x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+      set_trial_threads(1 + (x >> 60));  // 1..8, including the serial path
+      std::this_thread::yield();
+    }
+  });
+  std::thread reader([&] {
+    while (!stop.load()) {
+      const std::size_t t = trial_threads();
+      if (t < 1 || t > 1024) std::abort();  // impossible value observed
+      std::this_thread::yield();
+    }
+  });
+
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::atomic<int>> hits(kCount);
+    parallel_for_index(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kCount; ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "round " << round << " index " << i;
+  }
+
+  stop.store(true);
+  hammer.join();
+  reader.join();
 }
 
 }  // namespace

@@ -120,6 +120,40 @@ TEST(ProcessStreamTest, MidBatchThrowKeepsServiceConsistent) {
   EXPECT_EQ(service.output_histogram().total(), 2u);
 }
 
+TEST(ProcessStreamTest, AbortedBatchNeverLeaksIntoLaterBatches) {
+  // With record_output=false the batch lands in an internal scratch buffer.
+  // A sampler throw mid-batch must leave that scratch EMPTY — if the
+  // aborted batch's ids survived until the next on_receive_stream call,
+  // they would be double-counted into the next batch's histogram.
+  SamplingService service(config_for(Strategy::kOmniscient, 10, false));
+  SamplingService reference(config_for(Strategy::kOmniscient, 10, false));
+
+  const Stream poisoned = {1, 2, 99999};  // 99999 outside the population
+  EXPECT_THROW(service.on_receive_stream(poisoned), std::out_of_range);
+  EXPECT_EQ(service.processed(), 2u);
+  EXPECT_EQ(service.output_histogram().total(), 2u);
+
+  // The reference sees the same surviving prefix per-item, then both
+  // services ingest an identical healthy batch.
+  reference.on_receive(1);
+  reference.on_receive(2);
+  const Stream healthy = {3, 4, 5, 3};
+  service.on_receive_stream(healthy);
+  for (const NodeId id : healthy) reference.on_receive(id);
+
+  EXPECT_EQ(service.processed(), reference.processed());
+  EXPECT_EQ(service.output_histogram().raw(), reference.output_histogram().raw());
+  EXPECT_EQ(service.output_histogram().total(), 2u + healthy.size());
+
+  // Same invariant when the poison batch follows a successful one.
+  SamplingService again(config_for(Strategy::kOmniscient, 10, false));
+  again.on_receive_stream(healthy);
+  EXPECT_THROW(again.on_receive_stream(poisoned), std::out_of_range);
+  again.on_receive_stream(healthy);
+  EXPECT_EQ(again.processed(), 2 * healthy.size() + 2);
+  EXPECT_EQ(again.output_histogram().total(), 2 * healthy.size() + 2);
+}
+
 TEST(ProcessStreamTest, AppendsToExistingOutput) {
   const Stream input = biased_stream(30, 500, 4);
   KnowledgeFreeSampler sampler(8, CountMinParams::from_dimensions(10, 5, 2), 3);

@@ -1,0 +1,237 @@
+// The determinism contract of ShardedSamplingService, tested
+// differentially: for any shard count S, ingest() through the concurrent
+// pipeline must be bit-identical to the canonical serialization
+// (ingest_serial), for every producer thread count, queue capacity and
+// consumer batch size; and with S = 1 the whole service must collapse to a
+// plain SamplingService seeded with derive_seed(base.seed, 0).
+#include "core/sharded_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/sampling_service.hpp"
+#include "stream/generators.hpp"
+#include "util/rng.hpp"
+
+namespace unisamp {
+namespace {
+
+Stream biased_stream(std::size_t n, std::size_t m, std::uint64_t seed) {
+  WeightedStreamGenerator gen(zipf_weights(n, 1.2), seed);
+  return gen.take(m);
+}
+
+ShardedServiceConfig config_for(std::size_t shards, std::size_t producers,
+                                bool record = true) {
+  ShardedServiceConfig config;
+  config.base.strategy = Strategy::kKnowledgeFree;
+  config.base.memory_size = 8;  // small c so evictions (and coins) happen
+  config.base.sketch_width = 10;
+  config.base.sketch_depth = 5;
+  config.base.seed = 123;
+  config.base.record_output = record;
+  config.shard_count = shards;
+  config.producer_threads = producers;
+  return config;
+}
+
+void expect_identical(const ShardedSamplingService& a,
+                      ShardedSamplingService& b) {
+  EXPECT_EQ(a.processed(), b.processed());
+  EXPECT_EQ(a.merged_output_stream(), b.merged_output_stream());
+  EXPECT_EQ(a.merged_histogram().raw(), b.merged_histogram().raw());
+  EXPECT_EQ(a.state_checksum(), b.state_checksum());
+  for (std::size_t s = 0; s < a.shard_count(); ++s) {
+    EXPECT_EQ(a.shard(s).processed(), b.shard(s).processed()) << "shard " << s;
+    EXPECT_EQ(a.shard(s).output_stream(), b.shard(s).output_stream())
+        << "shard " << s;
+  }
+}
+
+TEST(ShardedServiceTest, ShardOfIsStableAndInRange) {
+  for (std::size_t shards : {1u, 2u, 5u, 16u}) {
+    for (NodeId id = 0; id < 500; ++id) {
+      const std::size_t s = ShardedSamplingService::shard_of(id, shards);
+      EXPECT_LT(s, shards);
+      EXPECT_EQ(s, ShardedSamplingService::shard_of(id, shards));
+    }
+  }
+}
+
+TEST(ShardedServiceTest, RejectsDegenerateConfig) {
+  auto cfg = config_for(0, 1);
+  EXPECT_THROW(ShardedSamplingService{cfg}, std::invalid_argument);
+  cfg = config_for(2, 0);
+  EXPECT_THROW(ShardedSamplingService{cfg}, std::invalid_argument);
+  cfg = config_for(2, 2);
+  cfg.consumer_batch = 0;
+  EXPECT_THROW(ShardedSamplingService{cfg}, std::invalid_argument);
+}
+
+// With one shard the service is the paper's unmodified sampling service:
+// every observable must match a plain SamplingService configured with the
+// derived shard seed.
+TEST(ShardedServiceTest, SingleShardMatchesPlainService) {
+  const Stream input = biased_stream(200, 30000, 7);
+
+  ShardedSamplingService sharded(config_for(1, 4));
+  ServiceConfig plain_cfg = config_for(1, 1).base;
+  plain_cfg.seed = derive_seed(plain_cfg.seed, 0);
+  SamplingService plain(plain_cfg);
+
+  sharded.ingest(input);
+  plain.on_receive_stream(input);
+
+  EXPECT_EQ(sharded.processed(), plain.processed());
+  EXPECT_EQ(sharded.merged_output_stream(), plain.output_stream());
+  EXPECT_EQ(sharded.merged_histogram().raw(), plain.output_histogram().raw());
+  for (int i = 0; i < 32; ++i)
+    ASSERT_EQ(sharded.sample(), plain.sample()) << "draw " << i;
+}
+
+// The tentpole property: the concurrent pipeline is a pure function of
+// (config, input) — bit-identical to the canonical serialization for every
+// (S, producer count) combination, including producer counts far above the
+// machine's core count.
+TEST(ShardedServiceTest, PipelineMatchesSerialAcrossShardAndThreadMatrix) {
+  const Stream input = biased_stream(300, 40000, 11);
+
+  for (const std::size_t shards : {1u, 2u, 4u, 7u}) {
+    ShardedSamplingService reference(config_for(shards, 1));
+    reference.ingest_serial(input);
+    for (const std::size_t producers : {1u, 2u, 4u, 8u}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "shards=" << shards << " producers=" << producers);
+      ShardedSamplingService concurrent(config_for(shards, producers));
+      concurrent.ingest(input);
+      expect_identical(reference, concurrent);
+    }
+  }
+}
+
+// Queue capacity and consumer batching are pure performance knobs — tiny
+// rings force constant full/empty boundary churn and sub-batch flushes, the
+// exact regime where an ordering bug would show.
+TEST(ShardedServiceTest, QueueAndBatchSizesDoNotChangeResults) {
+  const Stream input = biased_stream(150, 20000, 13);
+
+  ShardedSamplingService reference(config_for(3, 1));
+  reference.ingest_serial(input);
+  for (const std::size_t capacity : {2u, 16u, 4096u}) {
+    for (const std::size_t batch : {1u, 7u, 1024u}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "capacity=" << capacity << " batch=" << batch);
+      auto cfg = config_for(3, 4);
+      cfg.queue_capacity = capacity;
+      cfg.consumer_batch = batch;
+      ShardedSamplingService concurrent(cfg);
+      concurrent.ingest(input);
+      expect_identical(reference, concurrent);
+    }
+  }
+}
+
+// Splitting the input across many ingest() calls must equal one call: the
+// service carries no cross-call batching state.
+TEST(ShardedServiceTest, ChunkedIngestMatchesSingleIngest) {
+  const Stream input = biased_stream(100, 15000, 17);
+
+  ShardedSamplingService whole(config_for(4, 4));
+  whole.ingest(input);
+
+  ShardedSamplingService chunked(config_for(4, 4));
+  const std::size_t sizes[] = {1, 3, 17, 4096, 1, 257};
+  std::size_t pos = 0, which = 0;
+  while (pos < input.size()) {
+    const std::size_t len =
+        std::min(sizes[which++ % std::size(sizes)], input.size() - pos);
+    chunked.ingest(std::span(input).subspan(pos, len));
+    pos += len;
+  }
+  expect_identical(whole, chunked);
+}
+
+// Identically configured services must agree on the sample() sequence —
+// the query RNG and per-shard RNGs are part of the deterministic state.
+TEST(ShardedServiceTest, SampleSequenceIsDeterministic) {
+  const Stream input = biased_stream(120, 10000, 19);
+  ShardedSamplingService a(config_for(5, 2));
+  ShardedSamplingService b(config_for(5, 2));
+  EXPECT_EQ(a.sample(), std::nullopt);  // nothing ingested yet
+  a.ingest(input);
+  b.ingest(input);
+  for (int i = 0; i < 64; ++i) {
+    const auto draw = a.sample();
+    ASSERT_EQ(draw, b.sample()) << "draw " << i;
+    ASSERT_TRUE(draw.has_value());
+  }
+}
+
+// Exception contract: a shard whose sampler throws (omniscient shard fed an
+// id outside the known population) stops with partial state, every other
+// shard completes its full sub-stream, the exception surfaces to the
+// caller — and the pipeline reaches exactly the serial path's state.
+TEST(ShardedServiceTest, ThrowingShardMatchesSerialAndOthersComplete) {
+  const std::size_t n = 50;
+  auto make_config = [&](std::size_t producers) {
+    ShardedServiceConfig cfg = config_for(4, producers);
+    cfg.base.strategy = Strategy::kOmniscient;
+    cfg.base.known_probabilities = zipf_weights(n, 1.2);
+    cfg.consumer_batch = 8;  // several flushes per shard before the poison
+    return cfg;
+  };
+
+  // Poison id: outside [0, n), so its shard's OmniscientSampler throws.
+  const NodeId poison = 99999;
+  const std::size_t poisoned_shard =
+      ShardedSamplingService::shard_of(poison, 4);
+  Stream input = biased_stream(n, 8000, 23);
+  input.insert(input.begin() + input.size() / 2, poison);
+
+  ShardedSamplingService serial(make_config(1));
+  EXPECT_THROW(serial.ingest_serial(input), std::out_of_range);
+
+  ShardedSamplingService concurrent(make_config(4));
+  EXPECT_THROW(concurrent.ingest(input), std::out_of_range);
+
+  expect_identical(serial, concurrent);
+  // Every healthy shard absorbed its complete sub-stream.
+  std::uint64_t healthy = 0;
+  for (std::size_t s = 0; s < 4; ++s)
+    if (s != poisoned_shard) healthy += serial.shard(s).processed();
+  std::uint64_t expected_healthy = 0;
+  for (const NodeId id : input)
+    if (id != poison && ShardedSamplingService::shard_of(id, 4) != poisoned_shard)
+      ++expected_healthy;
+  EXPECT_EQ(healthy, expected_healthy);
+  // The poisoned shard stopped exactly at the poison: it processed the ids
+  // of its sub-stream that arrived before it, and nothing after.
+  std::uint64_t before_poison = 0;
+  for (const NodeId id : input) {
+    if (id == poison) break;
+    if (ShardedSamplingService::shard_of(id, 4) == poisoned_shard)
+      ++before_poison;
+  }
+  EXPECT_EQ(serial.shard(poisoned_shard).processed(), before_poison);
+}
+
+// record_output=false (the bench configuration) must not change histogram
+// accounting, serial or concurrent.
+TEST(ShardedServiceTest, UnrecordedOutputStillFeedsHistograms) {
+  const Stream input = biased_stream(100, 12000, 29);
+  ShardedSamplingService recorded(config_for(4, 4, true));
+  ShardedSamplingService unrecorded(config_for(4, 4, false));
+  recorded.ingest(input);
+  unrecorded.ingest(input);
+  EXPECT_TRUE(unrecorded.merged_output_stream().empty());
+  EXPECT_EQ(recorded.merged_histogram().raw(), unrecorded.merged_histogram().raw());
+  EXPECT_EQ(unrecorded.processed(), input.size());
+}
+
+}  // namespace
+}  // namespace unisamp

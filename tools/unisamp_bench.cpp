@@ -31,6 +31,7 @@
 #include "core/knowledge_free_sampler.hpp"
 #include "core/omniscient_sampler.hpp"
 #include "core/sampling_service.hpp"
+#include "core/sharded_service.hpp"
 #include "sim/gossip.hpp"
 #include "sim/topology.hpp"
 #include "sketch/count_min.hpp"
@@ -86,6 +87,30 @@ constexpr std::size_t kSketchDepth = 17;  // s
 Stream make_zipf_stream(std::uint64_t items, std::uint64_t seed) {
   WeightedStreamGenerator gen(zipf_weights(kDomain, 1.2), derive_seed(seed, 11));
   return gen.take(items);
+}
+
+/// Positive-integer environment knob for the sharded-ingest scenario;
+/// unset/invalid/out-of-range values take the default.
+std::size_t env_size_t(const char* name, std::size_t fallback,
+                       std::size_t max) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || parsed == 0 || parsed > max)
+    return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+/// Shard count S of service/sharded_ingest.  The scenario checksum depends
+/// on S (BENCH_baseline.json records the default, S=4).
+std::size_t env_shards() { return env_size_t("UNISAMP_SHARDS", 4, 256); }
+
+/// Producer count N of service/sharded_ingest.  MUST never move the
+/// checksum (sharded-service determinism contract); defaults to the 8
+/// producers the multicore baseline records.
+std::size_t env_producer_threads() {
+  return env_size_t("UNISAMP_THREADS", 8, 1024);
 }
 
 void register_scenarios(bh::ScenarioRegistry& reg) {
@@ -213,6 +238,44 @@ void register_scenarios(bh::ScenarioRegistry& reg) {
                std::uint64_t acc = bh::kChecksumSeed;
                for (NodeId id = 0; id < kDomain; ++id)
                  acc = fold(acc, h.count(id));
+               return bh::ScenarioResult{in.size(), acc};
+             }});
+  }
+
+  // -- the sharded concurrent ingest front: S sampler shards fed through
+  //    per-(producer, shard) SPSC queues.  UNISAMP_SHARDS overrides the
+  //    shard count (default 4) and UNISAMP_THREADS the producer count
+  //    (default 8) — the checksum depends on the shard count (different
+  //    partitions, different per-shard seeds) but NEVER on the producer
+  //    count, which is what the CI determinism matrix asserts.
+  {
+    reg.add({"service/sharded_ingest",
+             "ShardedSamplingService ingest, kf strategy, S shards (env "
+             "UNISAMP_SHARDS, default 4) x N producers (UNISAMP_THREADS, "
+             "default 8)",
+             2'000'000, 100'000,
+             [stream](std::uint64_t items, std::uint64_t seed) {
+               const Stream& in = stream->get(items, seed, make_zipf_stream);
+               ShardedServiceConfig config;
+               config.base.strategy = Strategy::kKnowledgeFree;
+               config.base.memory_size = kMemory;
+               config.base.sketch_width = kSketchWidth;
+               config.base.sketch_depth = kSketchDepth;
+               config.base.seed = derive_seed(seed, 42);
+               config.base.record_output = false;
+               config.shard_count = env_shards();
+               config.producer_threads = env_producer_threads();
+               ShardedSamplingService service(std::move(config));
+               service.ingest(in);
+               // Fold the merged per-id emission counts over the domain
+               // plus each shard's processed count: drift in WHICH shard
+               // emitted WHAT must move the checksum, not just totals.
+               const auto h = service.merged_histogram();
+               std::uint64_t acc = bh::kChecksumSeed;
+               for (NodeId id = 0; id < kDomain; ++id)
+                 acc = fold(acc, h.count(id));
+               for (std::size_t s = 0; s < service.shard_count(); ++s)
+                 acc = fold(acc, service.shard(s).processed());
                return bh::ScenarioResult{in.size(), acc};
              }});
   }
