@@ -25,6 +25,12 @@ constexpr std::uint64_t fold(std::uint64_t acc, std::uint64_t v) noexcept {
 // per-shard seeds derive_seed(seed, s) can never collide with it.
 constexpr std::uint64_t kQuerySeedTag = 0x5AD5'0000'0000'0001ULL;
 
+// Upper bound on the per-queue ring (slots; the pipeline allocates
+// producers x shards queues).  Keeps a caller-supplied huge capacity from
+// exhausting memory — and from overflowing the queue's power-of-two
+// round-up before the allocation would even be attempted.
+constexpr std::size_t kMaxQueueCapacity = std::size_t{1} << 20;
+
 }  // namespace
 
 ShardedSamplingService::ShardedSamplingService(ShardedServiceConfig config)
@@ -36,6 +42,9 @@ ShardedSamplingService::ShardedSamplingService(ShardedServiceConfig config)
     throw std::invalid_argument("producer_threads must be positive");
   if (config_.consumer_batch == 0)
     throw std::invalid_argument("consumer_batch must be positive");
+  if (config_.queue_capacity == 0 ||
+      config_.queue_capacity > kMaxQueueCapacity)
+    throw std::invalid_argument("queue_capacity out of range");
   shards_.reserve(config_.shard_count);
   for (std::size_t s = 0; s < config_.shard_count; ++s) {
     ServiceConfig shard_cfg = config_.base;
@@ -155,27 +164,42 @@ void ShardedSamplingService::ingest_pipeline(std::span<const NodeId> ids,
     flush();
   };
 
+  // Spawn order is load-bearing for the thread-exhaustion fallbacks below:
+  // all consumers strictly before any producer, so a consumer-spawn failure
+  // implies no id has entered any queue, and a producer-spawn failure
+  // leaves every shard with a running consumer.
   std::vector<std::thread> pool;
   pool.reserve(shard_count + producers - 1);
-  bool degraded = false;
+  bool consumers_spawned = false;
+  std::size_t spawned_producers = 0;
   try {
     for (std::size_t s = 0; s < shard_count; ++s) pool.emplace_back(consume, s);
-    for (std::size_t p = 0; p + 1 < producers; ++p)
+    consumers_spawned = true;
+    for (std::size_t p = 0; p + 1 < producers; ++p) {
       pool.emplace_back(produce, p);
+      ++spawned_producers;
+    }
   } catch (const std::system_error&) {
-    // Thread exhaustion.  Nothing has been produced yet (the caller runs
-    // the last producer, below), so closing every queue lets the consumers
-    // already running exit empty; then the serial path does all the work —
-    // bit-identical by the determinism contract.
-    degraded = true;
+    // Thread exhaustion — degrade, below.
   }
-  if (degraded) {
+  if (!consumers_spawned) {
+    // A consumer failed to spawn.  No producer thread exists yet, so every
+    // queue is still empty: closing them lets the consumers already running
+    // exit empty-handed, then the serial path does all the work —
+    // bit-identical by the determinism contract.
     for (auto& q : queues) q->close();
     for (std::thread& t : pool) t.join();
     ingest_serial(ids);
     return;
   }
-  produce(producers - 1);  // the calling thread is the last producer
+  // Every shard has a consumer.  The calling thread covers every producer
+  // chunk that did not get its own thread — in the common case just the
+  // last one, after a producer-spawn failure all the remaining ones, in
+  // index order (each produce() closes its own queues, so consumers
+  // advance past producer p as soon as its chunk is done).  Output is the
+  // same canonical serialization either way; spawned producers keep their
+  // already-pushed ids, nothing is re-produced.
+  for (std::size_t p = spawned_producers; p < producers; ++p) produce(p);
   for (std::thread& t : pool) t.join();
   for (std::size_t s = 0; s < shard_count; ++s)
     if (shard_error[s]) std::rethrow_exception(shard_error[s]);

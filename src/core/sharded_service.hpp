@@ -58,7 +58,8 @@ struct ShardedServiceConfig {
   ServiceConfig base;
   std::size_t shard_count = 1;       ///< S independent sampler shards
   std::size_t producer_threads = 1;  ///< N ingest partitioning threads
-  std::size_t queue_capacity = 4096; ///< per-(producer, shard) ring slots
+  std::size_t queue_capacity = 4096; ///< per-(producer, shard) ring slots,
+                                     ///< 1..2^20 (validated at construction)
   std::size_t consumer_batch = 1024; ///< ids staged per on_receive_stream
 };
 

@@ -25,6 +25,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace unisamp {
@@ -73,8 +74,14 @@ class BoundedSpscQueue {
 
  private:
   static std::size_t capacity_for(std::size_t min_capacity) {
+    // Stop at the highest representable power of two: one more doubling
+    // would overflow to 0 and the loop would never terminate.  (A request
+    // that large dies in the allocator anyway; callers wanting a hard error
+    // validate earlier, as ShardedSamplingService does.)
+    constexpr std::size_t kMaxCap =
+        std::size_t{1} << (std::numeric_limits<std::size_t>::digits - 1);
     std::size_t cap = 2;
-    while (cap < min_capacity) cap <<= 1;
+    while (cap < min_capacity && cap < kMaxCap) cap <<= 1;
     return cap;
   }
 

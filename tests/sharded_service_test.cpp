@@ -71,6 +71,14 @@ TEST(ShardedServiceTest, RejectsDegenerateConfig) {
   cfg = config_for(2, 2);
   cfg.consumer_batch = 0;
   EXPECT_THROW(ShardedSamplingService{cfg}, std::invalid_argument);
+  cfg = config_for(2, 2);
+  cfg.queue_capacity = 0;
+  EXPECT_THROW(ShardedSamplingService{cfg}, std::invalid_argument);
+  cfg = config_for(2, 2);
+  // Above the documented 2^20 cap: must throw instead of attempting (or
+  // hanging on) an absurd per-queue allocation.
+  cfg.queue_capacity = (std::size_t{1} << 20) + 1;
+  EXPECT_THROW(ShardedSamplingService{cfg}, std::invalid_argument);
 }
 
 // With one shard the service is the paper's unmodified sampling service:

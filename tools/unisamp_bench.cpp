@@ -18,6 +18,7 @@
 // repetition pays for it and the timed repetitions measure only the hot
 // path under test.
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -89,16 +90,23 @@ Stream make_zipf_stream(std::uint64_t items, std::uint64_t seed) {
   return gen.take(items);
 }
 
-/// Positive-integer environment knob for the sharded-ingest scenario;
-/// unset/invalid/out-of-range values take the default.
+/// Positive-integer environment knob for the sharded-ingest scenario.
+/// Same policy as util/parallel.cpp's UNISAMP_THREADS parsing, so one env
+/// value cannot mean different counts in different layers: unset, zero,
+/// negative or non-numeric values take the default; values above `max`
+/// CLAMP to it.
 std::size_t env_size_t(const char* name, std::size_t fallback,
                        std::size_t max) {
   const char* value = std::getenv(name);
   if (value == nullptr) return fallback;
+  const char* p = value;
+  while (*p == ' ' || *p == '\t') ++p;
+  if (*p < '0' || *p > '9') return fallback;  // rejects '-': strtoull wraps
+  errno = 0;
   char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(value, &end, 10);
-  if (end == value || *end != '\0' || parsed == 0 || parsed > max)
-    return fallback;
+  const unsigned long long parsed = std::strtoull(p, &end, 10);
+  if (end == p || *end != '\0' || parsed == 0) return fallback;
+  if (errno == ERANGE || parsed > max) return max;
   return static_cast<std::size_t>(parsed);
 }
 
