@@ -6,6 +6,7 @@
 #include "baseline/brahms.hpp"
 #include "common.hpp"
 #include "figures.hpp"
+#include "sim/driver.hpp"
 #include "sim/gossip.hpp"
 #include "sim/topology.hpp"
 
@@ -51,7 +52,8 @@ FigureDef make_brahms_views() {
       scfg.sketch_depth = 4;
       scfg.record_output = false;
       GossipNetwork net(Topology::complete(40), gcfg, scfg);
-      net.run_rounds(rounds);
+      SimDriver driver(net, TimingModel::rounds());
+      driver.run_ticks(rounds);
       double service_bad = 0.0, service_total = 0.0;
       for (std::size_t i = 4; i < 40; ++i) {
         const auto& h = net.service(i).output_histogram();

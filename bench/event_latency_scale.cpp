@@ -1,0 +1,129 @@
+// Extra (event-engine evaluation): the discrete-event simulator core at
+// deployment scale — a 100k-node overlay under a heterogeneous per-link
+// latency distribution (bimodal near/far links), bounded service inboxes
+// and per-tick drain bandwidth, swept over the latency spread.  The
+// spread-0 row is the narrow-jitter anchor: every near link takes exactly
+// the base transit, so each round's burst lands in phase and bounded
+// inboxes tail-drop the hardest.  Observer striding
+// (GossipConfig::observer_stride) keeps the sampler memory footprint flat
+// at this n; the protocol itself runs on every node.
+#include <algorithm>
+
+#include "common.hpp"
+#include "figures.hpp"
+#include "sim/driver.hpp"
+#include "sim/gossip.hpp"
+#include "sim/topology.hpp"
+
+namespace unisamp::figures {
+
+FigureDef make_event_latency_scale() {
+  using namespace unisamp::bench;
+
+  // Latency spread in rounds: per-link uniform extra on top of 0.25 rounds
+  // of base transit; 15% of links are "far" (+2 rounds).  Spread 0 keeps
+  // links synchronized-at-0.25-rounds apart from the far tail.
+  const Sweep<double> spreads{{0.0, 0.5, 1.5, 3.0}, {0.0, 1.5}};
+
+  FigureDef def;
+  def.slug = "event_latency_scale";
+  def.artefact = "Event engine at scale";
+  def.title = "gossip under heterogeneous link latency, n = 100k";
+  def.settings = "100000 nodes (1000 byzantine), random-regular(4), "
+                 "fanout 2, flood 4, forged 256, stride 497, "
+                 "bimodal latency base 0.25 far 15% +2.0, inbox 16, "
+                 "bandwidth 10/tick";
+  def.seed = 1100;
+  def.columns = {"latency_spread", "delivered",      "dropped_overflow",
+                 "dropped_inactive", "peak_inbox",   "in_flight",
+                 "memory_pollution"};
+  def.compute = [spreads](const FigureContext& ctx,
+                          FigureSeries& series) -> std::uint64_t {
+    constexpr std::size_t kNodes = 100'000;
+    const std::size_t ticks = ctx.pick<std::size_t>(12, 4);
+    std::uint64_t items = 0;
+    for (const double spread : spreads.values(ctx.quick)) {
+      GossipConfig gcfg;
+      gcfg.fanout = 2;
+      gcfg.seed = ctx.seed + static_cast<std::uint64_t>(spread * 16.0);
+      gcfg.byzantine_count = 1000;
+      gcfg.flood_factor = 4;
+      gcfg.forged_id_count = 256;
+      // One sampler per 497 correct nodes (~200 observers): per-node
+      // sketches dominate memory at n = 100k; the gossip plane is full-n.
+      gcfg.observer_stride = 497;
+
+      ServiceConfig scfg;
+      scfg.strategy = Strategy::kKnowledgeFree;
+      scfg.memory_size = 8;
+      scfg.sketch_width = 8;
+      scfg.sketch_depth = 4;
+      scfg.record_output = false;
+
+      LinkLatencyModel latency;
+      latency.kind = LinkLatencyModel::Kind::kBimodal;
+      latency.base = kTicksPerRound / 4;
+      latency.spread = static_cast<SimTime>(spread * kTicksPerRound);
+      latency.far_fraction = 0.15;
+      latency.far_extra = 2 * kTicksPerRound;
+      latency.seed = gcfg.seed + 1;
+
+      GossipNetwork net(Topology::random_regular(kNodes, 4, gcfg.seed),
+                        gcfg, scfg);
+      SimDriver driver(net,
+                       TimingModel::event(latency, /*inbox_capacity=*/16,
+                                          /*bandwidth_per_tick=*/10));
+      driver.run_ticks(ticks);
+
+      // Malicious share of the observers' sampler memories.
+      std::vector<NodeId> forged = net.forged_ids();
+      std::sort(forged.begin(), forged.end());
+      std::uint64_t slots = 0, polluted = 0;
+      for (std::size_t i = 0; i < net.size(); ++i) {
+        if (!net.has_service(i)) continue;
+        for (const NodeId id : net.service(i).sampler().memory()) {
+          ++slots;
+          if (std::binary_search(forged.begin(), forged.end(), id))
+            ++polluted;
+        }
+      }
+
+      const EngineStats& stats = driver.stats();
+      items += stats.messages_sent;
+      series.add_row({spread, static_cast<double>(net.delivered()),
+                      static_cast<double>(stats.dropped_overflow),
+                      static_cast<double>(stats.dropped_inactive),
+                      static_cast<double>(stats.peak_inbox_backlog),
+                      static_cast<double>(driver.in_flight_messages()),
+                      slots == 0 ? 0.0
+                                 : static_cast<double>(polluted) /
+                                       static_cast<double>(slots)});
+    }
+    return items;
+  };
+  def.render = [](const FigureContext&, const FigureSeries& series) {
+    AsciiTable table;
+    table.set_header({"spread (rounds)", "delivered", "overflow drops",
+                      "inactive drops", "peak inbox", "in flight",
+                      "mem pollution"});
+    for (const auto& row : series.rows)
+      table.add_row({format_double(row[0], 2),
+                     std::to_string(static_cast<std::uint64_t>(row[1])),
+                     std::to_string(static_cast<std::uint64_t>(row[2])),
+                     std::to_string(static_cast<std::uint64_t>(row[3])),
+                     std::to_string(static_cast<std::uint64_t>(row[4])),
+                     std::to_string(static_cast<std::uint64_t>(row[5])),
+                     format_double(row[6], 3)});
+    std::printf("%s", table.render().c_str());
+    std::printf("\nwith spread 0 every near link takes exactly the base "
+                "transit, so each round's\nburst lands in phase and bounded "
+                "inboxes tail-drop the hardest; wider spreads\nde-correlate "
+                "arrivals (fewer overflow drops) at the price of more ids "
+                "in\nflight at the horizon.  Sampler-memory pollution stays "
+                "modest either way:\nthe knowledge-free sampler, not "
+                "delivery timing, controls forged-id mass.\n");
+  };
+  return def;
+}
+
+}  // namespace unisamp::figures

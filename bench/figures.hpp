@@ -35,6 +35,7 @@ FigureDef make_adaptive_probing();
 FigureDef make_attack_schedule();
 FigureDef make_baseline_comparison();
 FigureDef make_eclipse_flood();
+FigureDef make_event_latency_scale();
 FigureDef make_brahms_views();
 FigureDef make_gain_model_validation();
 FigureDef make_markov_stationary();

@@ -36,18 +36,22 @@ int main() {
   sampler.record_output = false;
 
   GossipNetwork net(Topology::random_regular(40, 5, 5), gossip, sampler);
+  // One SimDriver spans the whole experiment: the churn phase is scheduled
+  // on it as timestamped join/leave events, then the same driver keeps
+  // ticking through stable post-T0 operation.
+  SimDriver driver(net, TimingModel::rounds());
   ChurnConfig churn;
   churn.pre_t0_rounds = 60;
   churn.leave_probability = 0.08;
   churn.rejoin_probability = 0.3;
   churn.seed = 9;
-  const auto report = run_churn_phase_with_report(net, churn);
+  const auto report = run_churn_phase_with_report(driver, churn);
   std::printf("pre-T0 churn: %zu join/leave events over %zu rounds; correct "
               "subgraph connected in %zu/%zu rounds (min active %zu)\n",
               report.events, report.rounds, report.connected_rounds,
               report.rounds, report.min_active_seen);
 
-  net.run_rounds(60);  // post-T0 stable operation
+  driver.run_ticks(60);  // post-T0 stable operation
   std::printf("post-T0: node 20 processed %llu ids, sample = %llu\n\n",
               static_cast<unsigned long long>(net.service(20).processed()),
               static_cast<unsigned long long>(*net.service(20).sample()));

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <unordered_set>
 
+#include "sim/driver.hpp"
 #include "sim/gossip.hpp"
 #include "sim/topology.hpp"
 #include "util/table.hpp"
@@ -48,7 +49,8 @@ int main() {
               topology.is_connected_among(correct) ? "yes" : "NO");
 
   GossipNetwork net(topology, gossip, sampler);
-  net.run_rounds(120);
+  SimDriver driver(net, TimingModel::rounds());
+  driver.run_ticks(120);
 
   // Measure forged-id contamination at three observer nodes.
   std::unordered_set<NodeId> forged(net.forged_ids().begin(),

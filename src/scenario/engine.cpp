@@ -103,6 +103,7 @@ MeasurePoint ScenarioEngine::measure(std::size_t round,
   double victim_bad = 0.0, victim_total = 0.0;
   double mem_bad = 0.0, mem_total = 0.0;
   for (std::size_t i = spec_.gossip.byzantine_count; i < net_.size(); ++i) {
+    if (!net_.has_service(i)) continue;  // off the observer stride
     const SamplingService& service = net_.service(i);
     const FrequencyHistogram& hist = service.output_histogram();
     double node_bad = 0.0;
@@ -131,10 +132,14 @@ ScenarioRunReport ScenarioEngine::run() {
   if (ran_) throw std::logic_error("ScenarioEngine::run is one-shot");
   ran_ = true;
   ScenarioRunReport report;
+  // One driver spans the whole experiment; under an event TimingSpec this
+  // keeps in-flight ids alive across churn and phase boundaries.
+  SimDriver driver(net_, spec_.timing ? spec_.timing->build(spec_.gossip.seed)
+                                      : TimingModel::rounds());
   if (spec_.churn) {
     // Pre-T0: the built-in static byzantine behaviour runs during churn
     // (the schedule models the POST-stabilisation attack campaign).
-    report.churn_events = run_churn_phase(net_, *spec_.churn);
+    report.churn_events = run_churn_phase(driver, *spec_.churn);
   }
   std::size_t round = 0;  // post-T0 round counter (churn rounds excluded)
   for (std::size_t p = 0; p < spec_.schedule.size(); ++p) {
@@ -143,7 +148,7 @@ ScenarioRunReport ScenarioEngine::run() {
     const AdversaryGuard guard{net_};  // destroyed before `adversary`
     net_.set_adversary(adversary.get());
     for (std::size_t r = 0; r < phase.rounds; ++r) {
-      net_.run_round();
+      driver.run_ticks(1);
       note_malicious(adversary->malicious_ids());
       ++round;
       const bool phase_end = r + 1 == phase.rounds;
@@ -154,6 +159,10 @@ ScenarioRunReport ScenarioEngine::run() {
     }
   }
   report.delivered = net_.delivered();
+  report.dropped_overflow = driver.stats().dropped_overflow;
+  report.dropped_inactive = driver.stats().dropped_inactive;
+  report.peak_inbox_backlog = driver.stats().peak_inbox_backlog;
+  report.in_flight_at_end = driver.in_flight_messages();
   return report;
 }
 

@@ -1,9 +1,13 @@
 // Scenario engine: runs a declarative ScenarioSpec end-to-end.
 //
-// Construction builds the overlay and the gossip network; run() executes
-// the optional pre-T0 churn phase and then the attack schedule, installing
-// the right RoundAdversary (adversary/adaptive.hpp) for each phase and
-// recording a deterministic metrics row at every measure point.  A
+// Construction builds the overlay and the gossip network; run() constructs
+// ONE SimDriver for the whole experiment (degenerate rounds config unless
+// the spec carries an event TimingSpec), executes the optional pre-T0
+// churn phase as timestamped join/leave events, then the attack schedule,
+// installing the right RoundAdversary (adversary/adaptive.hpp) for each
+// phase and recording a deterministic metrics row at every measure point.
+// In event mode the driver persists across phases, so ids still in flight
+// when a phase ends arrive during the next one.  A
 // scenario is simultaneously a workload (rounds through the batched gossip
 // hot path), a reproducible figure (rows are checksummable — the bench/
 // adaptive artefacts are thin wrappers over this class) and a regression
@@ -48,6 +52,11 @@ struct ScenarioRunReport {
   std::vector<MeasurePoint> points;  ///< in measurement order
   std::size_t churn_events = 0;      ///< pre-T0 join/leave toggles
   std::uint64_t delivered = 0;       ///< total ids delivered to correct nodes
+  /// Event-timing accounting (all 0 under the degenerate rounds config).
+  std::uint64_t dropped_overflow = 0;   ///< ids tail-dropped at full inboxes
+  std::uint64_t dropped_inactive = 0;   ///< ids addressed to churned-out nodes
+  std::uint64_t peak_inbox_backlog = 0; ///< deepest pending inbox seen
+  std::uint64_t in_flight_at_end = 0;   ///< ids still in transit at the end
 };
 
 class ScenarioEngine {

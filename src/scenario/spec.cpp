@@ -1,5 +1,6 @@
 #include "scenario/spec.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "util/rng.hpp"
@@ -36,6 +37,47 @@ std::string_view to_string(TopologySpec::Kind kind) {
   return "?";
 }
 
+namespace {
+SimTime to_ticks(double rounds) {
+  // llround of a single multiply: exact and identical on every IEEE-754
+  // host, so latency configs written in round units stay deterministic.
+  return static_cast<SimTime>(
+      std::llround(rounds * static_cast<double>(kTicksPerRound)));
+}
+}  // namespace
+
+TimingModel TimingSpec::build(std::uint64_t seed) const {
+  if (kind == Kind::kRounds) return TimingModel::rounds();
+  LinkLatencyModel lat;
+  switch (latency) {
+    case LatencyKind::kSynchronized:
+      lat.kind = LinkLatencyModel::Kind::kSynchronized;
+      break;
+    case LatencyKind::kUniform:
+      lat.kind = LinkLatencyModel::Kind::kUniform;
+      break;
+    case LatencyKind::kBimodal:
+      lat.kind = LinkLatencyModel::Kind::kBimodal;
+      break;
+  }
+  lat.base = to_ticks(latency_base);
+  lat.spread = to_ticks(latency_spread);
+  lat.far_fraction = far_fraction;
+  lat.far_extra = to_ticks(far_extra);
+  lat.seed = derive_seed(seed, 0x71B1);
+  return TimingModel::event(lat, inbox_capacity, bandwidth_per_round);
+}
+
+std::string_view to_string(TimingSpec::Kind kind) {
+  switch (kind) {
+    case TimingSpec::Kind::kRounds:
+      return "rounds";
+    case TimingSpec::Kind::kEvent:
+      return "event";
+  }
+  return "?";
+}
+
 std::string_view to_string(AttackKind kind) {
   switch (kind) {
     case AttackKind::kQuiescent:
@@ -62,6 +104,57 @@ void validate(const ScenarioSpec& spec) {
       spec.victim >= spec.topology.nodes)
     throw std::invalid_argument(spec.name +
                                 ": victim must be a correct node");
+  if (spec.gossip.observer_stride == 0)
+    throw std::invalid_argument(spec.name +
+                                ": gossip.observer_stride must be >= 1");
+  if ((spec.victim - spec.gossip.byzantine_count) %
+          spec.gossip.observer_stride !=
+      0)
+    throw std::invalid_argument(
+        spec.name +
+        ": victim is not instrumented under gossip.observer_stride "
+        "(victim metrics need a sampling service)");
+  if (spec.timing) {
+    const TimingSpec& timing = *spec.timing;
+    if (timing.kind == TimingSpec::Kind::kRounds) {
+      // Keep rounds specs honest: event-only knobs on a rounds config are
+      // a latent mistake, not a silent no-op.
+      if (timing.latency != TimingSpec::LatencyKind::kSynchronized ||
+          timing.latency_base != 0.0 || timing.latency_spread != 0.0 ||
+          timing.far_fraction != 0.0 || timing.far_extra != 0.0 ||
+          timing.inbox_capacity != 0 || timing.bandwidth_per_round != 0)
+        throw std::invalid_argument(
+            spec.name +
+            ": timing.kind is rounds but event-mode knobs are set "
+            "(latency/inbox_capacity/bandwidth_per_round)");
+    } else {
+      // !(x >= 0) also rejects NaN.
+      if (!(timing.latency_base >= 0.0))
+        throw std::invalid_argument(
+            spec.name + ": timing.latency_base must be finite and >= 0");
+      if (!(timing.latency_spread >= 0.0))
+        throw std::invalid_argument(
+            spec.name + ": timing.latency_spread must be finite and >= 0");
+      if (!(timing.far_fraction >= 0.0 && timing.far_fraction <= 1.0))
+        throw std::invalid_argument(
+            spec.name + ": timing.far_fraction outside [0, 1]");
+      if (!(timing.far_extra >= 0.0))
+        throw std::invalid_argument(
+            spec.name + ": timing.far_extra must be finite and >= 0");
+      if (timing.latency == TimingSpec::LatencyKind::kSynchronized &&
+          (timing.latency_base != 0.0 || timing.latency_spread != 0.0 ||
+           timing.far_fraction != 0.0 || timing.far_extra != 0.0))
+        throw std::invalid_argument(
+            spec.name +
+            ": timing.latency is synchronized but latency knobs are set "
+            "(pick uniform or bimodal)");
+      if (timing.latency != TimingSpec::LatencyKind::kBimodal &&
+          (timing.far_fraction != 0.0 || timing.far_extra != 0.0))
+        throw std::invalid_argument(
+            spec.name +
+            ": timing.far_* knobs require timing.latency = bimodal");
+    }
+  }
   if (spec.schedule.empty())
     throw std::invalid_argument(spec.name + ": empty attack schedule");
   for (const AttackPhase& phase : spec.schedule) {

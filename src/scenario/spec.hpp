@@ -22,6 +22,7 @@
 
 #include "core/sampling_service.hpp"
 #include "sim/churn.hpp"
+#include "sim/driver.hpp"
 #include "sim/gossip.hpp"
 #include "sim/topology.hpp"
 
@@ -66,6 +67,38 @@ struct AttackPhase {
   std::size_t rotate_every = 0;
 };
 
+/// Optional timing section: how delivery time behaves.  Absent — or
+/// present with kind kRounds — keeps the degenerate lockstep config, so
+/// every committed spec and its checksums are unchanged.  kEvent runs the
+/// scenario through the discrete-event engine with a deterministic
+/// per-link latency distribution, bounded per-node inboxes, and
+/// bandwidth-limited tick flushes (sim/driver.hpp).  Latency knobs are in
+/// ROUNDS (1.0 = one tick of virtual time).
+struct TimingSpec {
+  enum class Kind { kRounds, kEvent };
+  enum class LatencyKind { kSynchronized, kUniform, kBimodal };
+
+  Kind kind = Kind::kRounds;
+
+  /// Event mode only: per-link latency distribution.
+  LatencyKind latency = LatencyKind::kSynchronized;
+  double latency_base = 0.0;    ///< minimum transit (rounds)
+  double latency_spread = 0.0;  ///< uniform per-link extra in [0, spread]
+  double far_fraction = 0.0;    ///< bimodal: share of links that are "far"
+  double far_extra = 0.0;       ///< bimodal: extra transit on far links
+
+  /// Event mode only: per-node pending-inbox cap (0 = unbounded) and ids
+  /// drained per node per round (0 = infinite bandwidth).
+  std::size_t inbox_capacity = 0;
+  std::size_t bandwidth_per_round = 0;
+
+  /// Lowers to the engine-level TimingModel; `seed` keys the per-link
+  /// latency hash (derived, so it never collides with protocol streams).
+  TimingModel build(std::uint64_t seed) const;
+};
+
+std::string_view to_string(TimingSpec::Kind kind);
+
 /// The full declarative scenario.
 struct ScenarioSpec {
   std::string name = "scenario";
@@ -77,6 +110,8 @@ struct ScenarioSpec {
   /// Optional pre-T0 churn phase (runs before the attack schedule; the
   /// paper's model stabilises membership at T0, Sec. III-C).
   std::optional<ChurnConfig> churn;
+  /// Optional timing semantics; absent = degenerate rounds config.
+  std::optional<TimingSpec> timing;
   /// The correct node the probing/eclipse strategies aim at and the
   /// per-victim metrics track.
   std::size_t victim = 0;
@@ -86,9 +121,10 @@ struct ScenarioSpec {
   std::size_t measure_every = 0;
 };
 
-/// Validates the cross-field invariants (victim correct and in range,
-/// schedule non-empty with positive rounds, adaptive phases backed by a
-/// forged pool, intensities in [0, 1]).  Throws std::invalid_argument.
+/// Validates the cross-field invariants (victim correct, in range, and
+/// instrumented under observer_stride; schedule non-empty with positive
+/// rounds; adaptive phases backed by a forged pool; intensities in [0, 1];
+/// timing section internally consistent).  Throws std::invalid_argument.
 void validate(const ScenarioSpec& spec);
 
 }  // namespace unisamp::scenario

@@ -1,0 +1,91 @@
+#include "sim/driver.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace unisamp {
+
+void SimDriver::schedule_set_active(std::uint64_t tick, std::size_t node,
+                                    bool active) {
+  if (tick < tick_)
+    throw std::invalid_argument("cannot schedule churn in the past");
+  if (node >= net_.size())
+    throw std::out_of_range("churn event targets a node outside the network");
+  queue_.push(tick * kTicksPerRound, EventKind::kChurn,
+              static_cast<std::uint32_t>(node), 0, active ? 1 : 0);
+}
+
+void SimDriver::note_outcome(DeliveryOutcome outcome) {
+  switch (outcome) {
+    case DeliveryOutcome::kDelivered: ++stats_.messages_delivered; return;
+    case DeliveryOutcome::kHeard: ++stats_.messages_heard; return;
+    case DeliveryOutcome::kInactive: ++stats_.dropped_inactive; return;
+    case DeliveryOutcome::kOverflow: ++stats_.dropped_overflow; return;
+  }
+}
+
+void SimDriver::dispatch(const Event& event) {
+  switch (event.kind) {
+    case EventKind::kChurn:
+      net_.set_active(event.from, event.payload != 0);
+      return;
+    case EventKind::kTickBegin:
+      net_.begin_tick(tick_);
+      return;
+    case EventKind::kNodeSend:
+      if (timing_.kind == TimingModel::Kind::kRounds) {
+        // Degenerate-config cut-through: deliver inline (see driver.hpp).
+        net_.emit_sends(event.from, [this](std::uint32_t to, NodeId id) {
+          ++stats_.messages_sent;
+          note_outcome(net_.accept_delivery(to, id, 0));
+        });
+      } else {
+        net_.emit_sends(event.from, [this, &event](std::uint32_t to,
+                                                   NodeId id) {
+          ++stats_.messages_sent;
+          queue_.push(event.time + timing_.latency.transit(event.from, to),
+                      EventKind::kMessage, event.from, to, id);
+        });
+      }
+      return;
+    case EventKind::kMessage:
+      note_outcome(
+          net_.accept_delivery(event.to, event.payload, timing_.inbox_capacity));
+      return;
+    case EventKind::kTickFlush:
+      return;  // consumed by run_ticks' drain loop
+  }
+}
+
+void SimDriver::run_ticks(std::size_t ticks) {
+  const bool rounds_mode = timing_.kind == TimingModel::Kind::kRounds;
+  for (std::size_t i = 0; i < ticks; ++i) {
+    const SimTime now = tick_ * kTicksPerRound;
+    queue_.push(now, EventKind::kTickBegin, 0, 0, 0);
+    for (std::size_t n = 0; n < net_.size(); ++n)
+      queue_.push(now, EventKind::kNodeSend, static_cast<std::uint32_t>(n), 0,
+                  0);
+    // The flush closes the tick at the next boundary instant; its
+    // kTickFlush rank sorts it before anything else scheduled there.
+    queue_.push(now + kTicksPerRound, EventKind::kTickFlush, 0, 0, 0);
+    while (!queue_.empty()) {
+      const Event event = queue_.pop();
+      ++stats_.events_processed;
+      if (event.kind == EventKind::kTickFlush) {
+        if (!rounds_mode) {
+          for (std::size_t n = 0; n < net_.size(); ++n)
+            stats_.peak_inbox_backlog = std::max<std::uint64_t>(
+                stats_.peak_inbox_backlog, net_.inbox_depth(n));
+        }
+        net_.flush_tick(rounds_mode ? 0 : timing_.bandwidth_per_tick);
+        break;
+      }
+      dispatch(event);
+    }
+    stats_.peak_queue_depth =
+        std::max<std::uint64_t>(stats_.peak_queue_depth, queue_.peak_size());
+    ++tick_;
+  }
+}
+
+}  // namespace unisamp

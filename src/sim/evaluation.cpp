@@ -6,6 +6,7 @@
 
 #include "adversary/attacks.hpp"
 #include "metrics/divergence.hpp"
+#include "sim/driver.hpp"
 #include "util/parallel.hpp"
 
 namespace unisamp {
@@ -26,7 +27,8 @@ NetworkExperimentResult run_network_experiment(
   Topology topology = Topology::random_regular(
       config.nodes, config.degree, derive_seed(config.seed, 0xE1));
   GossipNetwork net(std::move(topology), gossip, sampler);
-  net.run_rounds(config.rounds);
+  SimDriver driver(net, TimingModel::rounds());
+  driver.run_ticks(config.rounds);
 
   NetworkExperimentResult result;
   std::vector<std::uint32_t> correct;

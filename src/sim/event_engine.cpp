@@ -1,0 +1,52 @@
+#include "sim/event_engine.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace unisamp {
+
+bool EventQueue::later(const Event& a, const Event& b) {
+  // Min-heap via std::*_heap's max-heap primitive: `a` sorts AFTER `b`.
+  if (a.time != b.time) return a.time > b.time;
+  if (a.kind != b.kind) return a.kind > b.kind;
+  return a.seq > b.seq;
+}
+
+std::uint64_t EventQueue::push(SimTime time, EventKind kind,
+                               std::uint32_t from, std::uint32_t to,
+                               NodeId payload) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(Event{time, seq, payload, from, to, kind});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  if (kind == EventKind::kMessage) ++in_flight_;
+  peak_ = std::max(peak_, heap_.size());
+  return seq;
+}
+
+Event EventQueue::pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  const Event event = heap_.back();
+  heap_.pop_back();
+  if (event.kind == EventKind::kMessage) --in_flight_;
+  return event;
+}
+
+SimTime LinkLatencyModel::transit(std::uint32_t from, std::uint32_t to) const {
+  if (kind == Kind::kSynchronized) return 0;
+  const std::uint64_t link =
+      (static_cast<std::uint64_t>(from) << 32) | static_cast<std::uint64_t>(to);
+  const std::uint64_t h = SplitMix64::mix(seed ^ link);
+  SimTime t = base;
+  if (spread > 0) t += h % (spread + 1);
+  if (kind == Kind::kBimodal && far_fraction > 0.0) {
+    // Second independent hash decides whether this link is a "far" one;
+    // top 53 bits give a uniform double in [0, 1).
+    const double u =
+        static_cast<double>(SplitMix64::mix(h) >> 11) * 0x1.0p-53;
+    if (u < far_fraction) t += far_extra;
+  }
+  return t;
+}
+
+}  // namespace unisamp

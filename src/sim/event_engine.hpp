@@ -1,0 +1,137 @@
+// Discrete-event core of the simulator (CODES/ROSS-style model-net layer).
+//
+// The simulator's unit of work is a timestamped Event drained from a
+// min-priority queue.  Virtual time is FIXED-POINT (std::uint64_t units,
+// kTicksPerRound units per gossip round) so ordering never depends on
+// floating-point rounding and replays bit-identically across machines.
+//
+// Deterministic tie-breaking: events are ordered by (time, kind, seq).
+// `kind` is an explicit priority class — at one instant, inbox flushes
+// happen before churn toggles, churn before the per-tick adversary hook,
+// message arrivals before sends — and `seq` is the monotonically increasing
+// schedule order, so two messages scheduled by the same sender pop in the
+// order they were emitted.  The queue is therefore a pure function of the
+// push sequence: no heap nondeterminism, no wall-clock input.
+//
+// The per-link latency model is also stateless-deterministic: the transit
+// time of a (from, to) link is a hash of the link and the model seed, not a
+// draw from a shared RNG, so it is independent of event order and identical
+// no matter how many messages cross the link.
+//
+// This header is protocol-agnostic: it knows nothing about gossip,
+// samplers, or adversaries.  The SimDriver facade (sim/driver.hpp) owns the
+// dispatch semantics and is the one public entry point for running
+// simulations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "stream/types.hpp"
+
+namespace unisamp {
+
+/// Fixed-point virtual time.  One synchronous gossip round spans exactly
+/// kTicksPerRound units, so "0.25 rounds of latency" is representable
+/// exactly and integer tick boundaries are exact comparisons.
+using SimTime = std::uint64_t;
+inline constexpr SimTime kTicksPerRound = 1'000'000;
+
+/// Event priority classes.  The enum VALUE is the tie-break rank at equal
+/// timestamps — reorder only with a reason, it is a behaviour contract:
+///   kTickFlush  < everything: a tick's inbox flush completes before the
+///               next tick (scheduled at the boundary instant) begins.
+///   kChurn      < kTickBegin: join/leave toggles land before the adversary
+///               observes the tick — matching the legacy churn driver,
+///               which toggled activity and then ran the round.
+///   kMessage    < kNodeSend: an arrival at the same instant as a send is
+///               heard first, so freshly received ids are gossipable —
+///               the eager-knowledge semantics of the lockstep simulator.
+enum class EventKind : std::uint8_t {
+  kTickFlush = 0,  ///< end-of-tick service flush (bandwidth-limited)
+  kChurn = 1,      ///< timestamped join/leave toggle
+  kTickBegin = 2,  ///< tick boundary: adversary begin_tick hook
+  kMessage = 3,    ///< one in-flight id on one directed link
+  kNodeSend = 4,   ///< a node wakes up and gossips to its neighbours
+};
+
+struct Event {
+  SimTime time = 0;
+  std::uint64_t seq = 0;       ///< schedule order (assigned by the queue)
+  NodeId payload = 0;          ///< kMessage: the id in flight; kChurn: 0/1
+  std::uint32_t from = 0;      ///< kMessage/kNodeSend: node; kChurn: node
+  std::uint32_t to = 0;        ///< kMessage: destination
+  EventKind kind = EventKind::kTickBegin;
+};
+
+/// Min-priority queue of Events with deterministic (time, kind, seq)
+/// ordering.  Contracts:
+///  - Determinism: the pop sequence is a pure function of the push
+///    sequence; `seq` is assigned internally in push order.
+///  - Complexity: O(log n) push/pop on a binary heap, O(1) top/empty.
+///  - Thread-safety: none.
+class EventQueue {
+ public:
+  /// Schedules an event; returns its assigned sequence number.
+  std::uint64_t push(SimTime time, EventKind kind, std::uint32_t from,
+                     std::uint32_t to, NodeId payload);
+
+  /// Removes and returns the earliest event.  Precondition: !empty().
+  Event pop();
+
+  const Event& top() const { return heap_.front(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// kMessage events currently queued — the in-flight id count, the term
+  /// that closes the drop-accounting conservation law mid-run.
+  std::size_t in_flight_messages() const { return in_flight_; }
+  std::size_t peak_size() const { return peak_; }
+
+ private:
+  static bool later(const Event& a, const Event& b);
+
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t in_flight_ = 0;
+  std::size_t peak_ = 0;
+};
+
+/// Deterministic per-link transit-time model.  The latency of a DIRECTED
+/// link (from, to) is fixed for the whole run — a hash of (link, seed) —
+/// which models heterogeneous wiring (near/far racks, WAN hops) without
+/// coupling latency to event order.
+struct LinkLatencyModel {
+  enum class Kind {
+    kSynchronized,  ///< zero transit: delivery at the send instant
+    kUniform,       ///< base + per-link uniform extra in [0, spread]
+    kBimodal,       ///< uniform, plus far_extra on a far_fraction of links
+  };
+
+  Kind kind = Kind::kSynchronized;
+  SimTime base = 0;        ///< minimum transit
+  SimTime spread = 0;      ///< uniform per-link extra in [0, spread]
+  double far_fraction = 0.0;  ///< bimodal: share of links that are "far"
+  SimTime far_extra = 0;      ///< bimodal: extra transit on far links
+  std::uint64_t seed = 0;
+
+  /// Transit time of the directed link; pure function of (this, from, to).
+  SimTime transit(std::uint32_t from, std::uint32_t to) const;
+};
+
+/// Counters the driver keeps while draining the queue.  Conservation law
+/// (event mode): messages_sent == messages_delivered + messages_heard +
+/// dropped_overflow + dropped_inactive + queue.in_flight_messages().
+struct EngineStats {
+  std::uint64_t events_processed = 0;
+  std::uint64_t messages_sent = 0;       ///< emitted by senders (both modes)
+  std::uint64_t messages_delivered = 0;  ///< accepted into a service inbox
+  std::uint64_t messages_heard = 0;      ///< reached a node with no service
+  std::uint64_t dropped_overflow = 0;    ///< bounded inbox was full
+  std::uint64_t dropped_inactive = 0;    ///< receiver had churned out
+  std::uint64_t peak_queue_depth = 0;
+  std::uint64_t peak_inbox_backlog = 0;  ///< largest pending inbox seen
+};
+
+}  // namespace unisamp

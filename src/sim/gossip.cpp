@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "sim/driver.hpp"
+
 namespace unisamp {
 
 GossipNetwork::GossipNetwork(Topology topology, GossipConfig config,
@@ -13,10 +15,15 @@ GossipNetwork::GossipNetwork(Topology topology, GossipConfig config,
       rng_(derive_seed(config.seed, 0xC0551B)) {
   if (config_.byzantine_count >= topology_.size())
     throw std::invalid_argument("at least one correct node required");
+  if (config_.observer_stride == 0)
+    throw std::invalid_argument("observer_stride must be >= 1");
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     nodes_[i].knowledge.reserve(config_.knowledge_cache);
-    if (!is_byzantine(i)) {
+    if (!is_byzantine(i) &&
+        (i - config_.byzantine_count) % config_.observer_stride == 0) {
       ServiceConfig cfg = sampler_config;
+      // Per-node seed derivation is keyed on the node index, NOT the
+      // observer rank, so stride 1 reproduces the historic seeds exactly.
       cfg.seed = derive_seed(config.seed, 0x1000 + i);
       nodes_[i].service = std::make_unique<SamplingService>(cfg);
     }
@@ -37,88 +44,90 @@ void GossipNetwork::remember(NodeState& state, NodeId id) {
   }
 }
 
-void GossipNetwork::deliver(std::size_t to, NodeId id) {
-  if (!active_[to]) return;
+DeliveryOutcome GossipNetwork::accept_delivery(std::size_t to, NodeId id,
+                                               std::size_t inbox_capacity) {
+  if (!active_[to]) return DeliveryOutcome::kInactive;
   NodeState& state = nodes_[to];
-  // Knowledge caches update eagerly at delivery time — later senders in the
-  // SAME round read them, so deferring this would change what gets gossiped.
+  // A tail-drop at a full inbox happens before the node "hears" the id:
+  // no knowledge update, no stream accounting — the id simply never
+  // arrived.  Unreachable with capacity 0 (the degenerate rounds config).
+  if (inbox_capacity > 0 && state.service != nullptr &&
+      state.pending.size() >= inbox_capacity)
+    return DeliveryOutcome::kOverflow;
+  // Knowledge caches update eagerly at delivery time — later senders at the
+  // same instant read them, so deferring this would change what gets
+  // gossiped.
   remember(state, id);
-  if (state.service) {
-    // The service feed is deferred: ids accumulate in per-node order and
-    // flush once per round through the batched on_receive_stream path.
-    state.pending.push_back(id);
-    if (config_.record_inputs) state.input.push_back(id);
-    ++delivered_;
-  }
+  if (!state.service) return DeliveryOutcome::kHeard;
+  // The service feed is deferred: ids accumulate in per-node order and
+  // flush at the tick boundary through the batched on_receive_stream path.
+  state.pending.push_back(id);
+  if (config_.record_inputs) state.input.push_back(id);
+  ++delivered_;
+  return DeliveryOutcome::kDelivered;
 }
 
-void GossipNetwork::flush_round_deliveries() {
+void GossipNetwork::flush_tick(std::size_t bandwidth) {
   try {
     for (NodeState& state : nodes_) {
       if (!state.service || state.pending.empty()) continue;
-      state.service->on_receive_stream(state.pending);
-      state.pending.clear();
+      if (bandwidth == 0 || state.pending.size() <= bandwidth) {
+        state.service->on_receive_stream(state.pending);
+        state.pending.clear();
+      } else {
+        // Bandwidth-limited drain: the oldest `bandwidth` ids reach the
+        // sampler, the rest stay pending for the next tick's flush.
+        state.service->on_receive_stream(
+            std::span<const NodeId>(state.pending.data(), bandwidth));
+        state.pending.erase(
+            state.pending.begin(),
+            state.pending.begin() + static_cast<std::ptrdiff_t>(bandwidth));
+      }
     }
   } catch (...) {
     // A throwing service (e.g. an omniscient sampler fed a forged id) must
-    // not replay this round's ids on a later flush — neither its own nor
+    // not replay this tick's ids on a later flush — neither its own nor
     // those of nodes the loop had not reached yet.
     for (NodeState& state : nodes_) state.pending.clear();
     throw;
   }
+  ++rounds_;
+}
+
+void GossipNetwork::begin_tick(std::uint64_t tick) {
+  if (adversary_ != nullptr) adversary_->begin_tick(*this, tick);
 }
 
 const Stream& GossipNetwork::input_stream(std::size_t node) const {
-  if (is_byzantine(node))
-    throw std::invalid_argument("byzantine nodes record no input stream");
+  if (!has_service(node))
+    throw std::invalid_argument(
+        "only instrumented correct nodes record an input stream");
   if (!config_.record_inputs)
     throw std::logic_error("input recording was not enabled");
   return nodes_[node].input;
 }
 
+void GossipNetwork::run_round_reference() {
+  // The pre-event-engine lockstep loop: adversary hook, sends in node
+  // index order with immediate unbounded delivery, one full flush.  The
+  // differential suite pins SimDriver's degenerate rounds config against
+  // this oracle.
+  begin_tick(rounds_);
+  for (std::size_t from = 0; from < nodes_.size(); ++from)
+    emit_sends(from, [this](std::uint32_t to, NodeId id) {
+      accept_delivery(to, id, 0);
+    });
+  flush_tick(0);
+}
+
 void GossipNetwork::run_round() {
-  if (adversary_ != nullptr) adversary_->begin_round(*this);
-  for (std::size_t from = 0; from < nodes_.size(); ++from) {
-    if (!active_[from]) continue;
-    const auto neighbors = topology_.neighbors(from);
-    if (neighbors.empty()) continue;
-    NodeState& state = nodes_[from];
-    for (std::uint32_t to : neighbors) {
-      if (!active_[to]) continue;
-      if (is_byzantine(from)) {
-        if (adversary_ != nullptr) {
-          // Adaptive path: the installed strategy decides what this
-          // byzantine member pushes, drawing from the network RNG.
-          adversary_scratch_.clear();
-          adversary_->push_ids(from, to, rng_, adversary_scratch_);
-          for (const NodeId id : adversary_scratch_) deliver(to, id);
-          continue;
-        }
-        // Static Sybil flood: forged ids (or own id if no forged pool).
-        for (std::size_t f = 0; f < config_.flood_factor; ++f) {
-          const NodeId forged =
-              forged_ids_.empty()
-                  ? static_cast<NodeId>(from)
-                  : forged_ids_[rng_.next_below(forged_ids_.size())];
-          deliver(to, forged);
-        }
-      } else {
-        // Correct push: own id + fanout-1 random known ids.
-        deliver(to, static_cast<NodeId>(from));
-        for (std::size_t f = 1; f < config_.fanout; ++f) {
-          if (state.knowledge.empty()) break;
-          deliver(to,
-                  state.knowledge[rng_.next_below(state.knowledge.size())]);
-        }
-      }
-    }
-  }
-  flush_round_deliveries();
-  ++rounds_;
+  SimDriver driver(*this, TimingModel::rounds());
+  driver.run_ticks(1);
 }
 
 void GossipNetwork::run_rounds(std::size_t rounds) {
-  for (std::size_t r = 0; r < rounds; ++r) run_round();
+  SimDriver driver(*this, TimingModel::rounds());
+  driver.run_ticks(rounds);
 }
 
 void GossipNetwork::set_active(std::size_t node, bool active) {
@@ -128,19 +137,25 @@ void GossipNetwork::set_active(std::size_t node, bool active) {
 const SamplingService& GossipNetwork::service(std::size_t node) const {
   if (is_byzantine(node))
     throw std::invalid_argument("byzantine nodes expose no sampling service");
+  if (!nodes_[node].service)
+    throw std::invalid_argument(
+        "node is not instrumented (see GossipConfig::observer_stride)");
   return *nodes_[node].service;
 }
 
 SamplingService& GossipNetwork::service(std::size_t node) {
   if (is_byzantine(node))
     throw std::invalid_argument("byzantine nodes expose no sampling service");
+  if (!nodes_[node].service)
+    throw std::invalid_argument(
+        "node is not instrumented (see GossipConfig::observer_stride)");
   return *nodes_[node].service;
 }
 
 std::vector<NodeId> GossipNetwork::sample_correct_nodes() {
   std::vector<NodeId> samples;
   for (std::size_t i = config_.byzantine_count; i < nodes_.size(); ++i) {
-    if (!active_[i]) continue;
+    if (!active_[i] || !nodes_[i].service) continue;
     if (auto s = nodes_[i].service->sample()) samples.push_back(*s);
   }
   return samples;

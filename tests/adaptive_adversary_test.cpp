@@ -18,6 +18,7 @@
 
 #include "adversary/adaptive.hpp"
 #include "adversary/attacks.hpp"
+#include "sim/driver.hpp"
 #include "sim/gossip.hpp"
 #include "sim/topology.hpp"
 #include "stream/histogram.hpp"
@@ -147,8 +148,10 @@ TEST(RoundAdversaryTest, StaticFloodAdversaryIsBitIdenticalToBuiltin) {
   GossipNetwork hooked(Topology::complete(20), cfg, scfg);
   StaticFloodAdversary adversary(hooked.forged_ids(), cfg.flood_factor);
   hooked.set_adversary(&adversary);
-  builtin.run_rounds(30);
-  hooked.run_rounds(30);
+  SimDriver builtin_driver(builtin, TimingModel::rounds());
+  builtin_driver.run_ticks(30);
+  SimDriver hooked_driver(hooked, TimingModel::rounds());
+  hooked_driver.run_ticks(30);
   expect_networks_identical(builtin, hooked);
 }
 
@@ -156,20 +159,23 @@ TEST(RoundAdversaryTest, ZeroIntensityAdaptiveStrategiesMatchBuiltin) {
   const GossipConfig cfg = flood_config();
   ServiceConfig scfg;
   GossipNetwork builtin(Topology::complete(20), cfg, scfg);
-  builtin.run_rounds(30);
+  SimDriver builtin_driver(builtin, TimingModel::rounds());
+  builtin_driver.run_ticks(30);
 
   GossipNetwork probed(Topology::complete(20), cfg, scfg);
   EstimateProbingAdversary probing(
       probed.forged_ids(), ProbingFloodConfig{19, cfg.flood_factor, 0.0});
   probed.set_adversary(&probing);
-  probed.run_rounds(30);
+  SimDriver probed_driver(probed, TimingModel::rounds());
+  probed_driver.run_ticks(30);
   expect_networks_identical(builtin, probed);
 
   GossipNetwork eclipsed(Topology::complete(20), cfg, scfg);
   EclipseFloodAdversary eclipse(
       eclipsed.forged_ids(), EclipseConfig{19, cfg.flood_factor, 0.0});
   eclipsed.set_adversary(&eclipse);
-  eclipsed.run_rounds(30);
+  SimDriver eclipsed_driver(eclipsed, TimingModel::rounds());
+  eclipsed_driver.run_ticks(30);
   expect_networks_identical(builtin, eclipsed);
 }
 
@@ -179,7 +185,8 @@ TEST(RoundAdversaryTest, QuiescentAdversarySilencesByzantineMembers) {
   GossipNetwork net(Topology::complete(20), cfg, scfg);
   QuiescentAdversary quiet;
   net.set_adversary(&quiet);
-  net.run_rounds(10);
+  SimDriver net_driver(net, TimingModel::rounds());
+  net_driver.run_ticks(10);
   for (std::size_t i = 4; i < net.size(); ++i) {
     const FrequencyHistogram& hist = net.service(i).output_histogram();
     for (const NodeId forged : net.forged_ids())
@@ -192,7 +199,8 @@ TEST(EstimateProbingAdversaryTest, FullIntensityPushesOnlyFocusedIds) {
   ServiceConfig scfg;
   GossipNetwork net(Topology::complete(20), cfg, scfg);
   // Warm the victim's output so the ranking has signal.
-  net.run_rounds(5);
+  SimDriver net_driver(net, TimingModel::rounds());
+  net_driver.run_ticks(5);
   EstimateProbingAdversary probing(
       net.forged_ids(), ProbingFloodConfig{19, cfg.flood_factor, 1.0});
   probing.begin_round(net);
@@ -278,7 +286,8 @@ TEST(SybilChurnAdversaryTest, RotationSchedulePaysForFreshIdentities) {
   ServiceConfig scfg;
   GossipNetwork net(Topology::complete(10), gcfg, scfg);
   net.set_adversary(&churn);
-  net.run_rounds(25);
+  SimDriver net_driver(net, TimingModel::rounds());
+  net_driver.run_ticks(25);
   // Rotations at rounds 10 and 20: three pools paid for in total.
   EXPECT_EQ(churn.rotations(), 2u);
   EXPECT_EQ(churn.malicious_ids().size(), 12u);
@@ -303,7 +312,8 @@ TEST(SybilChurnAdversaryTest, NoRotationBehavesLikeAStaticPool) {
   ServiceConfig scfg;
   GossipNetwork net(Topology::complete(10), gcfg, scfg);
   net.set_adversary(&churn);
-  net.run_rounds(30);
+  SimDriver net_driver(net, TimingModel::rounds());
+  net_driver.run_ticks(30);
   EXPECT_EQ(churn.rotations(), 0u);
   EXPECT_EQ(churn.malicious_ids().size(), 3u);
 }

@@ -89,14 +89,36 @@ TEST(Churn, DeterministicBySeed) {
 
 TEST(Churn, SamplingContinuesAfterT0) {
   GossipNetwork net(Topology::complete(15), gossip_cfg(), service_cfg());
+  // One driver spans churn and post-T0 operation (the SimDriver overload).
+  SimDriver driver(net, TimingModel::rounds());
   ChurnConfig churn;
   churn.pre_t0_rounds = 30;
   churn.seed = 9;
-  run_churn_phase(net, churn);
+  run_churn_phase(driver, churn);
   const auto processed_at_t0 = net.service(3).processed();
-  net.run_rounds(20);
+  driver.run_ticks(20);
   EXPECT_GT(net.service(3).processed(), processed_at_t0);
   EXPECT_TRUE(net.service(3).sample().has_value());
+}
+
+TEST(Churn, DriverOverloadMatchesCompatibilityShim) {
+  // The GossipNetwork overload is a documented shim over a rounds-mode
+  // SimDriver; both paths must leave bit-identical worlds.
+  ChurnConfig churn;
+  churn.pre_t0_rounds = 25;
+  churn.seed = 13;
+  GossipNetwork shim_net(Topology::complete(12), gossip_cfg(), service_cfg());
+  const std::size_t shim_events = run_churn_phase(shim_net, churn);
+  GossipNetwork driver_net(Topology::complete(12), gossip_cfg(),
+                           service_cfg());
+  SimDriver driver(driver_net, TimingModel::rounds());
+  const std::size_t driver_events = run_churn_phase(driver, churn);
+  EXPECT_EQ(shim_events, driver_events);
+  EXPECT_EQ(shim_net.delivered(), driver_net.delivered());
+  for (std::size_t i = 0; i < shim_net.size(); ++i)
+    EXPECT_EQ(shim_net.service(i).processed(),
+              driver_net.service(i).processed())
+        << "node " << i;
 }
 
 }  // namespace

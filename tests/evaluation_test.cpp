@@ -1,6 +1,8 @@
 // Tests of the network-level evaluation harness.
 #include "sim/evaluation.hpp"
 
+#include "sim/driver.hpp"
+
 #include <gtest/gtest.h>
 
 namespace unisamp {
@@ -76,7 +78,8 @@ TEST(GossipInputRecording, RequiresFlag) {
   scfg.sketch_width = 4;
   scfg.sketch_depth = 2;
   GossipNetwork net(Topology::complete(5), gcfg, scfg);
-  net.run_rounds(2);
+  SimDriver driver(net, TimingModel::rounds());
+  driver.run_ticks(2);
   EXPECT_THROW(net.input_stream(0), std::logic_error);
 }
 
@@ -90,7 +93,8 @@ TEST(GossipInputRecording, CapturesDeliveries) {
   scfg.sketch_depth = 2;
   scfg.record_output = false;
   GossipNetwork net(Topology::complete(5), gcfg, scfg);
-  net.run_rounds(5);
+  SimDriver driver(net, TimingModel::rounds());
+  driver.run_ticks(5);
   for (std::size_t i = 0; i < 5; ++i) {
     EXPECT_EQ(net.input_stream(i).size(), net.service(i).processed());
     EXPECT_GT(net.input_stream(i).size(), 0u);

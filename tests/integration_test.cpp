@@ -10,6 +10,7 @@
 #include "analysis/urn.hpp"
 #include "core/sampling_service.hpp"
 #include "metrics/divergence.hpp"
+#include "sim/driver.hpp"
 #include "sim/gossip.hpp"
 #include "sim/random_walk.hpp"
 #include "sim/topology.hpp"
@@ -40,7 +41,8 @@ TEST(EndToEnd, GossipWithByzantineFlooders) {
   scfg.record_output = false;
 
   GossipNetwork net(Topology::complete(30), gcfg, scfg);
-  net.run_rounds(60);
+  SimDriver driver(net, TimingModel::rounds());
+  driver.run_ticks(60);
 
   // Observer: correct node 10.  Compare malicious mass in input vs output.
   const auto& service = net.service(10);

@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
 
 #include "scenario/engine.hpp"
 #include "scenario/spec.hpp"
+#include "sim/driver.hpp"
 #include "sim/gossip.hpp"
 #include "sim/topology.hpp"
 
@@ -61,6 +63,139 @@ TEST(ScenarioSpecTest, ValidateRejectsBadSpecs) {
   EXPECT_NO_THROW(validate(base_spec()));
 }
 
+TEST(ScenarioSpecTest, ValidateRejectsBadTimingSpecs) {
+  // Rounds kind with event-only knobs set is a latent mistake, not a no-op.
+  ScenarioSpec spec = base_spec();
+  spec.timing = TimingSpec{};
+  spec.timing->inbox_capacity = 8;
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+
+  spec = base_spec();
+  spec.timing = TimingSpec{};
+  spec.timing->latency = TimingSpec::LatencyKind::kUniform;
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+
+  // Event kind: negative / NaN latencies rejected.
+  spec = base_spec();
+  spec.timing = TimingSpec{};
+  spec.timing->kind = TimingSpec::Kind::kEvent;
+  spec.timing->latency = TimingSpec::LatencyKind::kUniform;
+  spec.timing->latency_base = -0.5;
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+  spec.timing->latency_base = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+
+  // far_* knobs demand the bimodal distribution.
+  spec = base_spec();
+  spec.timing = TimingSpec{};
+  spec.timing->kind = TimingSpec::Kind::kEvent;
+  spec.timing->latency = TimingSpec::LatencyKind::kUniform;
+  spec.timing->far_fraction = 0.2;
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+
+  spec = base_spec();
+  spec.timing = TimingSpec{};
+  spec.timing->kind = TimingSpec::Kind::kEvent;
+  spec.timing->latency = TimingSpec::LatencyKind::kBimodal;
+  spec.timing->far_fraction = 1.5;
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+
+  // Synchronized event mode with latency knobs set: pick a distribution.
+  spec = base_spec();
+  spec.timing = TimingSpec{};
+  spec.timing->kind = TimingSpec::Kind::kEvent;
+  spec.timing->latency_base = 0.5;
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+
+  // A complete event-mode section validates.
+  spec = base_spec();
+  spec.timing = TimingSpec{};
+  spec.timing->kind = TimingSpec::Kind::kEvent;
+  spec.timing->latency = TimingSpec::LatencyKind::kBimodal;
+  spec.timing->latency_base = 0.25;
+  spec.timing->latency_spread = 0.5;
+  spec.timing->far_fraction = 0.1;
+  spec.timing->far_extra = 2.0;
+  spec.timing->inbox_capacity = 16;
+  spec.timing->bandwidth_per_round = 10;
+  EXPECT_NO_THROW(validate(spec));
+
+  // Observer stride: zero rejected; victim must stay instrumented.
+  spec = base_spec();
+  spec.gossip.observer_stride = 0;
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+  spec.gossip.observer_stride = 7;  // (19 - 4) % 7 != 0: victim unobserved
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+  spec.gossip.observer_stride = 5;  // (19 - 4) % 5 == 0
+  EXPECT_NO_THROW(validate(spec));
+}
+
+TEST(ScenarioSpecTest, TimingSpecLowersRoundUnitsToTicks) {
+  TimingSpec timing;
+  EXPECT_EQ(timing.build(7).kind, TimingModel::Kind::kRounds);
+
+  timing.kind = TimingSpec::Kind::kEvent;
+  timing.latency = TimingSpec::LatencyKind::kBimodal;
+  timing.latency_base = 0.25;
+  timing.latency_spread = 1.5;
+  timing.far_fraction = 0.125;
+  timing.far_extra = 2.0;
+  timing.inbox_capacity = 16;
+  timing.bandwidth_per_round = 10;
+  const TimingModel model = timing.build(7);
+  EXPECT_EQ(model.kind, TimingModel::Kind::kEvent);
+  EXPECT_EQ(model.latency.kind, LinkLatencyModel::Kind::kBimodal);
+  EXPECT_EQ(model.latency.base, kTicksPerRound / 4);
+  EXPECT_EQ(model.latency.spread, kTicksPerRound + kTicksPerRound / 2);
+  EXPECT_DOUBLE_EQ(model.latency.far_fraction, 0.125);
+  EXPECT_EQ(model.latency.far_extra, 2 * kTicksPerRound);
+  EXPECT_EQ(model.inbox_capacity, 16u);
+  EXPECT_EQ(model.bandwidth_per_tick, 10u);
+  // The latency hash seed is derived, never the raw master seed.
+  EXPECT_NE(model.latency.seed, 7u);
+}
+
+TEST(ScenarioEngineTest, SynchronizedEventTimingMatchesRoundsReport) {
+  // An event-mode section with zero latency and no bounds is semantically
+  // the rounds config; the engine must produce the identical report.
+  ScenarioSpec rounds_spec = base_spec();
+  ScenarioSpec event_spec = base_spec();
+  event_spec.timing = TimingSpec{};
+  event_spec.timing->kind = TimingSpec::Kind::kEvent;
+  ScenarioEngine rounds_engine(rounds_spec);
+  ScenarioEngine event_engine(event_spec);
+  const ScenarioRunReport rounds_report = rounds_engine.run();
+  const ScenarioRunReport event_report = event_engine.run();
+  EXPECT_EQ(rounds_report.delivered, event_report.delivered);
+  ASSERT_EQ(rounds_report.points.size(), event_report.points.size());
+  for (std::size_t i = 0; i < rounds_report.points.size(); ++i) {
+    EXPECT_EQ(rounds_report.points[i].output_pollution,
+              event_report.points[i].output_pollution);
+    EXPECT_EQ(rounds_report.points[i].memory_pollution,
+              event_report.points[i].memory_pollution);
+  }
+  EXPECT_EQ(rounds_report.dropped_overflow, 0u);
+  EXPECT_EQ(event_report.dropped_overflow, 0u);
+  EXPECT_EQ(event_report.in_flight_at_end, 0u);
+}
+
+TEST(ScenarioEngineTest, BoundedEventTimingReportsDropAccounting) {
+  ScenarioSpec spec = base_spec();
+  spec.timing = TimingSpec{};
+  spec.timing->kind = TimingSpec::Kind::kEvent;
+  spec.timing->latency = TimingSpec::LatencyKind::kUniform;
+  spec.timing->latency_base = 0.5;
+  spec.timing->latency_spread = 1.0;
+  spec.timing->inbox_capacity = 2;
+  spec.timing->bandwidth_per_round = 1;
+  ScenarioEngine engine(spec);
+  const ScenarioRunReport report = engine.run();
+  // A 20-node flood into capacity-2 inboxes drained 1 id/round must drop.
+  EXPECT_GT(report.dropped_overflow, 0u);
+  EXPECT_GT(report.peak_inbox_backlog, 0u);
+  EXPECT_LT(report.delivered, ScenarioEngine(base_spec()).run().delivered);
+}
+
 TEST(ScenarioSpecTest, TopologyKindsBuild) {
   TopologySpec topo;
   topo.nodes = 16;
@@ -83,7 +218,8 @@ TEST(ScenarioEngineTest, ZeroIntensityScheduleMatchesPlainStaticFlood) {
   engine.run();
 
   GossipNetwork plain(Topology::complete(20), spec.gossip, spec.sampler);
-  plain.run_rounds(30);
+  SimDriver plain_driver(plain, TimingModel::rounds());
+  plain_driver.run_ticks(30);
   for (std::size_t i = 4; i < 20; ++i)
     EXPECT_EQ(engine.network().service(i).output_stream(),
               plain.service(i).output_stream())

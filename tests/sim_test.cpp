@@ -3,6 +3,7 @@
 #include <numeric>
 #include <set>
 
+#include "sim/driver.hpp"
 #include "sim/gossip.hpp"
 #include "sim/random_walk.hpp"
 #include "sim/topology.hpp"
@@ -117,6 +118,9 @@ ServiceConfig basic_service() {
 
 TEST(Gossip, DeliversIdsToAllCorrectNodes) {
   GossipNetwork net(Topology::ring(20, 2), basic_gossip(), basic_service());
+  // Deliberately stays on the run_rounds compatibility shim: pins that the
+  // legacy entry point still drives the network (everything else in this
+  // file uses SimDriver, the real API).
   net.run_rounds(10);
   EXPECT_GT(net.delivered(), 0u);
   for (std::size_t i = 0; i < 20; ++i)
@@ -125,7 +129,8 @@ TEST(Gossip, DeliversIdsToAllCorrectNodes) {
 
 TEST(Gossip, EveryCorrectIdEventuallyHeardOnConnectedOverlay) {
   GossipNetwork net(Topology::ring(15, 1), basic_gossip(), basic_service());
-  net.run_rounds(500);
+  SimDriver driver(net, TimingModel::rounds());
+  driver.run_ticks(500);
   // Gossip dissemination on a connected ring: most node ids must reach
   // node 0's sampler output (ids far around the ring take many rounds and
   // must also survive the c=5 sampling memory, so "most" not "all").
@@ -138,7 +143,8 @@ TEST(Gossip, EveryCorrectIdEventuallyHeardOnConnectedOverlay) {
 
 TEST(Gossip, ByzantineNodesFloodForgedIds) {
   GossipNetwork net(Topology::complete(10), basic_gossip(2), basic_service());
-  net.run_rounds(20);
+  SimDriver driver(net, TimingModel::rounds());
+  driver.run_ticks(20);
   EXPECT_EQ(net.forged_ids().size(), 20u);
   // Correct node streams must contain forged ids (the attack is live).
   bool forged_seen = false;
@@ -165,18 +171,22 @@ TEST(Gossip, AllByzantineRejected) {
 
 TEST(Gossip, ChurnInactiveNodesReceiveNothing) {
   GossipNetwork net(Topology::complete(8), basic_gossip(), basic_service());
-  net.set_active(3, false);
+  // Churn as timestamped events: node 3 leaves at tick 0 and rejoins at
+  // tick 5, all scheduled up front on the driver.
+  SimDriver driver(net, TimingModel::rounds());
+  driver.schedule_set_active(0, 3, false);
+  driver.schedule_set_active(5, 3, true);
   const auto before = net.service(3).processed();
-  net.run_rounds(5);
+  driver.run_ticks(5);
   EXPECT_EQ(net.service(3).processed(), before);
-  net.set_active(3, true);
-  net.run_rounds(5);
+  driver.run_ticks(5);
   EXPECT_GT(net.service(3).processed(), before);
 }
 
 TEST(Gossip, SamplesAvailableAfterRounds) {
   GossipNetwork net(Topology::complete(12), basic_gossip(2), basic_service());
-  net.run_rounds(5);
+  SimDriver driver(net, TimingModel::rounds());
+  driver.run_ticks(5);
   const auto samples = net.sample_correct_nodes();
   EXPECT_EQ(samples.size(), 10u);
 }

@@ -5,6 +5,7 @@
 
 #include <numeric>
 
+#include "sim/driver.hpp"
 #include "sim/gossip.hpp"
 #include "sim/random_walk.hpp"
 #include "sim/topology.hpp"
@@ -81,7 +82,8 @@ TEST_P(TopologySweep, GossipReachesEveryNode) {
   scfg.sketch_depth = 3;
   scfg.record_output = false;
   GossipNetwork net(build(param.family, param.n, 13), gcfg, scfg);
-  net.run_rounds(30);
+  SimDriver driver(net, TimingModel::rounds());
+  driver.run_ticks(30);
   for (std::size_t i = 0; i < param.n; ++i)
     EXPECT_GT(net.service(i).processed(), 0u)
         << family_name(param.family) << " node " << i;

@@ -3,7 +3,8 @@
 
 Usage:
     check_bench_regression.py BASELINE CURRENT [--threshold=0.30]
-                              [--timing=gate|report]
+                              [--timing=gate|report] [--host-cores=N]
+                              [--multicore-bar=R]
 
 BASELINE and CURRENT may each be:
   * a unisamp-bench-v1 report (tools/unisamp_bench output),
@@ -30,6 +31,18 @@ is a behaviour change regardless of where it ran.  The default
 An EMPTY record set on either side is always an error (exit 2): a
 comparison that silently covered nothing must never read as a pass.
 
+Multicore-baseline hygiene: a baseline document whose `machine` field
+carries the "PENDING multicore refresh" marker holds timings recorded on
+the 1-core reference machine.  On a host with fewer than 8 cores that is
+merely noted; on a capable host (>= 8 cores, or `--host-cores=N` says so)
+the comparison FAILS (exit 1) and demands the baseline be re-seeded —
+otherwise the stale 1-core numbers would make every multicore timing look
+like an improvement and the PENDING flag could mask a real regression
+forever.  `--multicore-bar=R` additionally asserts the current run's
+service/sharded_ingest median beats service/batch_ingest by at least Rx
+(the sharded-service acceptance bar); requesting the bar without both
+scenarios present is a usage error (exit 2).
+
 Exit status: 0 = clean, 1 = at least one regression (timing=gate only),
 checksum change, or baseline scenario missing from the current run,
 2 = bad input or an empty record set.
@@ -46,6 +59,14 @@ import json
 import os
 import sys
 
+# Substring that flags a baseline whose timing fields still come from the
+# 1-core reference machine (see BENCH_baseline_multicore.json).
+PENDING_MULTICORE_MARKER = "PENDING multicore refresh"
+
+# A host with at least this many cores is expected to re-seed a pending
+# multicore baseline instead of comparing against its 1-core timings.
+MULTICORE_HOST_CORES = 8
+
 
 def bad_input(message):
     print(message, file=sys.stderr)
@@ -60,6 +81,7 @@ def scenario_entries(doc, path):
     """
     schema = doc.get("schema")
     if schema == "unisamp-bench-v1":
+        pending = PENDING_MULTICORE_MARKER in str(doc.get("machine", ""))
         return [{
             "name": s["name"],
             "items": s["items"],
@@ -68,6 +90,7 @@ def scenario_entries(doc, path):
             "stddev": s["ns_per_op"]["stddev"],
             "seed": doc.get("seed"),
             "quick": doc.get("quick"),
+            "pending_multicore": pending,
         } for s in doc["scenarios"]]
     if schema == "unisamp-figure-v1":
         timing = doc.get("timing", {})
@@ -80,6 +103,7 @@ def scenario_entries(doc, path):
             "stddev": 0.0,
             "seed": doc.get("seed"),
             "quick": doc.get("quick"),
+            "pending_multicore": False,
         }]
     bad_input(f"error: {path} has unrecognized schema {schema!r} "
               "(expected unisamp-bench-v1 or unisamp-figure-v1)")
@@ -110,6 +134,8 @@ def main(argv):
         bad_input(__doc__.strip())
     threshold = 0.30
     timing_gate = True
+    host_cores = os.cpu_count() or 1
+    multicore_bar = None
     for opt in opts:
         if opt.startswith("--threshold="):
             threshold = float(opt.split("=", 1)[1])
@@ -118,6 +144,14 @@ def main(argv):
             if mode not in ("gate", "report"):
                 bad_input(f"--timing must be gate or report, got {mode!r}")
             timing_gate = mode == "gate"
+        elif opt.startswith("--host-cores="):
+            host_cores = int(opt.split("=", 1)[1])
+            if host_cores < 1:
+                bad_input(f"--host-cores must be >= 1, got {host_cores}")
+        elif opt.startswith("--multicore-bar="):
+            multicore_bar = float(opt.split("=", 1)[1])
+            if multicore_bar <= 0:
+                bad_input(f"--multicore-bar must be > 0, got {multicore_bar}")
         else:
             bad_input(f"unknown option {opt}")
 
@@ -171,6 +205,43 @@ def main(argv):
     for name in missing:
         print(f"{name:<{width}}  {'(missing from current run)':>12}")
 
+    # Multicore-baseline hygiene (see the module docstring): a PENDING
+    # baseline compared on a capable host must fail until it is re-seeded.
+    stale_baseline = False
+    if any(s["pending_multicore"] for s in baseline):
+        if host_cores >= MULTICORE_HOST_CORES:
+            stale_baseline = True
+            print(f"\nBASELINE STALE: the baseline carries the "
+                  f"'{PENDING_MULTICORE_MARKER}' marker but this host has "
+                  f"{host_cores} cores (>= {MULTICORE_HOST_CORES}). Its "
+                  "1-core timings would mask real multicore regressions — "
+                  "re-seed it here (see the marker text for the command) "
+                  "before trusting timing verdicts.")
+        else:
+            print(f"\nnote: baseline timings are marked "
+                  f"'{PENDING_MULTICORE_MARKER}' and this host has only "
+                  f"{host_cores} core(s) — timing verdicts compare 1-core "
+                  "numbers; checksums remain authoritative.")
+
+    # Sharded-service acceptance bar: the current run's sharded ingest must
+    # beat batch ingest by the requested throughput factor.
+    bar_failed = False
+    if multicore_bar is not None:
+        cur_by_name = {s["name"]: s for s in current}
+        sharded = cur_by_name.get("service/sharded_ingest")
+        batch = cur_by_name.get("service/batch_ingest")
+        if sharded is None or batch is None:
+            bad_input("error: --multicore-bar needs service/sharded_ingest "
+                      "and service/batch_ingest in the current run")
+        if sharded["median"] <= 0:
+            bad_input("error: service/sharded_ingest has no timing sample")
+        speedup = batch["median"] / sharded["median"]
+        verdict = "ok" if speedup >= multicore_bar else "BELOW BAR"
+        print(f"\nmulticore bar: sharded_ingest is {speedup:.2f}x "
+              f"batch_ingest throughput (required >= "
+              f"{multicore_bar:.2f}x) ... {verdict}")
+        bar_failed = speedup < multicore_bar
+
     if behaviour_changes:
         # Behaviour drift is strictly more alarming than a slowdown: same
         # work, same seed, different output.  It must fail the check too.
@@ -182,7 +253,8 @@ def main(argv):
     if missing:
         print(f"\n{len(missing)} scenario(s) missing from current run: "
               f"{', '.join(missing)}")
-    if (regressions and timing_gate) or behaviour_changes or missing:
+    if ((regressions and timing_gate) or behaviour_changes or missing
+            or stale_baseline or bar_failed):
         return 1
     if not regressions:
         print("\nno regressions beyond tolerance "

@@ -33,6 +33,7 @@
 #include "core/omniscient_sampler.hpp"
 #include "core/sampling_service.hpp"
 #include "core/sharded_service.hpp"
+#include "sim/driver.hpp"
 #include "sim/gossip.hpp"
 #include "sim/topology.hpp"
 #include "sketch/count_min.hpp"
@@ -311,7 +312,8 @@ void register_scenarios(bh::ScenarioRegistry& reg) {
              GossipNetwork net(
                  Topology::small_world(256, 4, 0.1, derive_seed(seed, 53)),
                  gossip, sampler);
-             while (net.delivered() < items) net.run_round();
+             SimDriver driver(net, TimingModel::rounds());
+             while (net.delivered() < items) driver.run_ticks(1);
              return bh::ScenarioResult{net.delivered(),
                                        fold_stream(net.sample_correct_nodes())};
            }});
