@@ -1,0 +1,117 @@
+// Extra (event engine x structured topology): the discrete-event core on a
+// deployment-scale dragonfly — 51,600 nodes in 129 groups of 16 routers
+// (h = 8 global links per router, 24 terminals each) — under the bimodal
+// near/far link latency model, bounded inboxes and per-tick drain
+// bandwidth.  The sweep moves one axis the unstructured 100k-node run
+// (event_latency_scale) cannot express: adversary placement, one group's
+// worth of byzantine members either scattered across all 129 groups or
+// filling a single group outright.  Observer striding keeps the sampler
+// memory footprint flat; the gossip plane runs on every node.
+#include <cstdio>
+
+#include "common.hpp"
+#include "figures.hpp"
+#include "scenario/engine.hpp"
+
+namespace unisamp::figures {
+
+namespace {
+constexpr const char* kPlaceNames[] = {"scattered", "single-group"};
+}
+
+FigureDef make_dragonfly_event_scale() {
+  using namespace unisamp::bench;
+
+  FigureDef def;
+  def.slug = "dragonfly_event_scale";
+  def.artefact = "Dragonfly at scale";
+  def.title = "event-mode gossip on a 51.6k-node dragonfly, placement sweep";
+  def.settings = "dragonfly(a=16,h=8,p=24): 129 groups, n = 51600, "
+                 "400 byzantine, fanout 2, flood 4, forged 256, stride 257, "
+                 "bimodal latency base 0.25 far 15% +2.0, inbox 16, "
+                 "bandwidth 10/tick";
+  def.seed = 1300;
+  def.columns = {"placement",  "delivered",
+                 "dropped_overflow", "peak_inbox",
+                 "in_flight",  "network_output_pollution",
+                 "memory_pollution"};
+  def.compute = [](const FigureContext& ctx,
+                   FigureSeries& series) -> std::uint64_t {
+    const std::size_t rounds = ctx.pick<std::size_t>(10, 4);
+    std::uint64_t items = 0;
+    for (std::size_t place = 0; place < 2; ++place) {
+      scenario::ScenarioSpec spec;
+      spec.name = "dragonfly_event_scale";
+      spec.topology.kind = scenario::TopologySpec::Kind::kDragonfly;
+      spec.topology.dragonfly_routers = 16;
+      spec.topology.dragonfly_globals = 8;
+      spec.topology.dragonfly_terminals = 24;
+      spec.topology.nodes = 51'600;  // (16*8+1) groups of 16*(24+1)
+      spec.placement.kind =
+          place == 0 ? scenario::PlacementSpec::Kind::kScattered
+                     : scenario::PlacementSpec::Kind::kSingleGroup;
+      spec.placement.target = 0;
+      spec.gossip.fanout = 2;
+      spec.gossip.seed = ctx.seed + place;
+      // One group's worth of members (a * (p+1) = 400): the single-group
+      // row turns group 0 byzantine outright.
+      spec.gossip.byzantine_count = 400;
+      spec.gossip.flood_factor = 4;
+      spec.gossip.forged_id_count = 256;
+      // One sampler per 257 correct nodes (~200 observers): per-node
+      // sketches dominate memory at this n; the gossip plane is full-n.
+      spec.gossip.observer_stride = 257;
+      spec.sampler.memory_size = 8;
+      spec.sampler.sketch_width = 8;
+      spec.sampler.sketch_depth = 4;
+      spec.sampler.record_output = false;
+      spec.victim = 400;  // first correct node, on the observer stride
+      scenario::TimingSpec timing;
+      timing.kind = scenario::TimingSpec::Kind::kEvent;
+      timing.latency = scenario::TimingSpec::LatencyKind::kBimodal;
+      timing.latency_base = 0.25;
+      timing.far_fraction = 0.15;
+      timing.far_extra = 2.0;
+      timing.inbox_capacity = 16;
+      timing.bandwidth_per_round = 10;
+      spec.timing = timing;
+      spec.schedule = {{scenario::AttackKind::kStaticFlood, rounds, 0.0, 0}};
+
+      scenario::ScenarioEngine engine(std::move(spec));
+      const auto report = engine.run();
+      const auto& last = report.points.back();
+      series.add_row({static_cast<double>(place),
+                      static_cast<double>(report.delivered),
+                      static_cast<double>(report.dropped_overflow),
+                      static_cast<double>(report.peak_inbox_backlog),
+                      static_cast<double>(report.in_flight_at_end),
+                      last.output_pollution, last.memory_pollution});
+      items += static_cast<std::uint64_t>(rounds) * 51'600;
+    }
+    return items;
+  };
+  def.render = [](const FigureContext&, const FigureSeries& series) {
+    AsciiTable table;
+    table.set_header({"placement", "delivered", "overflow drops",
+                      "peak inbox", "in flight", "output pollution",
+                      "mem pollution"});
+    for (const auto& row : series.rows)
+      table.add_row({kPlaceNames[static_cast<std::size_t>(row[0])],
+                     std::to_string(static_cast<std::uint64_t>(row[1])),
+                     std::to_string(static_cast<std::uint64_t>(row[2])),
+                     std::to_string(static_cast<std::uint64_t>(row[3])),
+                     std::to_string(static_cast<std::uint64_t>(row[4])),
+                     format_double(row[5], 4), format_double(row[6], 4)});
+    std::printf("%s", table.render().c_str());
+    std::printf(
+        "\nboth rows spend the same byzantine budget (exactly one group's "
+        "worth of\nmembers) under identical latency/backpressure settings.  "
+        "A byzantine group\nreaches the other 128 groups only through its "
+        "128 global links, while\nscattered members flood from inside every "
+        "group's local clique — the delivery\nand pollution gap is the "
+        "price of the dragonfly's minimal global wiring.\n");
+  };
+  return def;
+}
+
+}  // namespace unisamp::figures

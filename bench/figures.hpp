@@ -34,8 +34,10 @@ FigureDef make_ablation_sketch();
 FigureDef make_adaptive_probing();
 FigureDef make_attack_schedule();
 FigureDef make_baseline_comparison();
+FigureDef make_dragonfly_event_scale();
 FigureDef make_eclipse_flood();
 FigureDef make_event_latency_scale();
+FigureDef make_topology_placement();
 FigureDef make_brahms_views();
 FigureDef make_gain_model_validation();
 FigureDef make_markov_stationary();

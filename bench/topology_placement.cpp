@@ -1,0 +1,137 @@
+// Extra (beyond the paper's unstructured overlay model, Sec. III-C):
+// Byzantine PLACEMENT on structured datacenter fabrics.  The same
+// byzantine budget (12 members, same flood factor) is placed scattered
+// across the structure, concentrated in one group (torus slab / dragonfly
+// group / fat-tree pod), or concentrated in one row (torus line /
+// dragonfly router's terminals / fat-tree rack), on each of the three
+// structured families.  The sweep answers a question the unstructured
+// model cannot pose: does WHERE the adversary sits — not how much it
+// floods — change eclipse susceptibility?
+#include <cstdio>
+
+#include "common.hpp"
+#include "figures.hpp"
+#include "scenario/engine.hpp"
+
+namespace unisamp::figures {
+
+namespace {
+
+constexpr const char* kTopoNames[] = {"torus 8x8x4", "dragonfly(4,2,3)",
+                                      "fat-tree k=8"};
+constexpr const char* kPlaceNames[] = {"scattered", "single-group",
+                                       "single-row"};
+
+scenario::ScenarioSpec placement_spec(std::size_t topo_idx,
+                                      std::size_t place_idx,
+                                      std::uint64_t seed) {
+  scenario::ScenarioSpec spec;
+  spec.name = "topology_placement";
+  switch (topo_idx) {
+    case 0:
+      spec.topology.kind = scenario::TopologySpec::Kind::kTorus;
+      spec.topology.torus_dims = {8, 8, 4};
+      spec.topology.nodes = 256;
+      break;
+    case 1:
+      spec.topology.kind = scenario::TopologySpec::Kind::kDragonfly;
+      spec.topology.dragonfly_routers = 4;
+      spec.topology.dragonfly_globals = 2;
+      spec.topology.dragonfly_terminals = 3;
+      spec.topology.nodes = 144;  // (4*2+1) groups of 4*(3+1)
+      break;
+    default:
+      spec.topology.kind = scenario::TopologySpec::Kind::kFatTree;
+      spec.topology.fat_tree_k = 8;
+      spec.topology.nodes = 208;  // 8 pods of 24 + 16 cores
+      break;
+  }
+  switch (place_idx) {
+    case 0:
+      spec.placement.kind = scenario::PlacementSpec::Kind::kScattered;
+      break;
+    case 1:
+      spec.placement.kind = scenario::PlacementSpec::Kind::kSingleGroup;
+      break;
+    default:
+      spec.placement.kind = scenario::PlacementSpec::Kind::kSingleRow;
+      break;
+  }
+  spec.placement.target = 0;
+  spec.gossip.fanout = 2;
+  spec.gossip.seed = seed;
+  spec.gossip.byzantine_count = 12;
+  spec.gossip.flood_factor = 30;
+  spec.gossip.forged_id_count = 8;
+  spec.sampler.memory_size = 8;
+  spec.sampler.sketch_width = 6;
+  spec.sampler.sketch_depth = 4;
+  spec.sampler.record_output = false;
+  spec.victim = 12;  // first correct node after the placed byzantines
+  return spec;
+}
+
+}  // namespace
+
+FigureDef make_topology_placement() {
+  using namespace unisamp::bench;
+
+  FigureDef def;
+  def.slug = "topology_placement";
+  def.artefact = "Structured placement";
+  def.title = "byzantine placement vs eclipse susceptibility on "
+              "datacenter fabrics";
+  def.settings = "torus 8x8x4 / dragonfly(a=4,h=2,p=3) / fat-tree k=8, "
+                 "12 byzantine, fanout 2, flood 30x, forged 8, 40 rounds";
+  def.seed = 1200;
+  def.columns = {"topology", "placement", "victim_output_pollution",
+                 "network_output_pollution", "memory_pollution"};
+  def.compute = [](const FigureContext& ctx,
+                   FigureSeries& series) -> std::uint64_t {
+    const std::size_t rounds = ctx.pick<std::size_t>(40, 16);
+    // Quick keeps one full placement sweep (on the dragonfly, where rows
+    // and groups differ the most); full crosses all three fabrics.
+    const std::size_t topo_begin = ctx.quick ? 1 : 0;
+    const std::size_t topo_end = ctx.quick ? 2 : 3;
+    std::uint64_t items = 0;
+    for (std::size_t topo = topo_begin; topo < topo_end; ++topo) {
+      for (std::size_t place = 0; place < 3; ++place) {
+        scenario::ScenarioSpec spec = placement_spec(topo, place, ctx.seed);
+        spec.schedule = {
+            {scenario::AttackKind::kStaticFlood, rounds, 0.0, 0}};
+        const std::size_t nodes = spec.topology.nodes;
+        scenario::ScenarioEngine engine(std::move(spec));
+        const auto report = engine.run();
+        const auto& last = report.points.back();
+        series.add_row({static_cast<double>(topo),
+                        static_cast<double>(place),
+                        last.victim_output_pollution, last.output_pollution,
+                        last.memory_pollution});
+        items += static_cast<std::uint64_t>(rounds) * nodes;
+      }
+    }
+    return items;
+  };
+  def.render = [](const FigureContext&, const FigureSeries& series) {
+    AsciiTable table;
+    table.set_header({"topology", "placement", "victim output",
+                      "network output", "memory pollution"});
+    for (const auto& row : series.rows)
+      table.add_row({kTopoNames[static_cast<std::size_t>(row[0])],
+                     kPlaceNames[static_cast<std::size_t>(row[1])],
+                     format_double(row[2], 4), format_double(row[3], 4),
+                     format_double(row[4], 4)});
+    std::printf("%s", table.render().c_str());
+    std::printf(
+        "\nsame byzantine budget and flood factor in every row — only the "
+        "PLACEMENT\nmoves.  Concentrated placements sit behind few "
+        "structural cut edges, so their\nflood reaches the wider network "
+        "through a bottleneck; scattered members touch\nevery group "
+        "directly.  The victim is always the first correct node after "
+        "the\nplaced byzantines, i.e. structurally adjacent to the "
+        "concentration.\n");
+  };
+  return def;
+}
+
+}  // namespace unisamp::figures

@@ -12,12 +12,38 @@ ScenarioSpec validated(ScenarioSpec spec) {
   validate(spec);
   return spec;
 }
+
+// Builds the overlay, applies the byzantine placement (relabelling the
+// chosen positions to the front so GossipConfig's first-b-nodes-are-
+// byzantine convention holds unchanged), and asserts the paper's standing
+// assumption: the CORRECT nodes are weakly connected at T0 (Sec. III-C).
+// Randomized families — erdos_renyi in particular — do not guarantee this,
+// so a bad (seed, p) pair fails loudly here instead of silently running an
+// experiment whose premises are void.  The check reads no RNG, so specs
+// that pass are bit-identical to runs without it.
+Topology build_world(const ScenarioSpec& spec) {
+  Topology topo = spec.topology.build(spec.gossip.seed);
+  if (spec.placement.kind != PlacementSpec::Kind::kDefault) {
+    topo = topo.front_loaded(
+        placement_nodes(topo, spec.gossip.byzantine_count, spec.placement));
+  }
+  std::vector<std::uint32_t> correct;
+  correct.reserve(topo.size() - spec.gossip.byzantine_count);
+  for (std::size_t i = spec.gossip.byzantine_count; i < topo.size(); ++i)
+    correct.push_back(static_cast<std::uint32_t>(i));
+  if (!topo.is_connected_among(correct))
+    throw std::invalid_argument(
+        spec.name +
+        ": correct nodes are not weakly connected at T0 (the paper's "
+        "Sec. III-C assumption) — raise connectivity (degree / "
+        "edge_probability), change the seed, or relax the placement");
+  return topo;
+}
 }  // namespace
 
 ScenarioEngine::ScenarioEngine(ScenarioSpec spec)
     : spec_(validated(std::move(spec))),
-      net_(spec_.topology.build(spec_.gossip.seed), spec_.gossip,
-           spec_.sampler),
+      net_(build_world(spec_), spec_.gossip, spec_.sampler),
       malicious_set_(2 * (spec_.gossip.byzantine_count +
                           spec_.gossip.forged_id_count) +
                      16),

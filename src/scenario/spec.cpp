@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "util/rng.hpp"
 
@@ -13,12 +14,22 @@ Topology TopologySpec::build(std::uint64_t seed) const {
       return Topology::complete(nodes);
     case Kind::kRing:
       return Topology::ring(nodes, degree);
+    case Kind::kErdosRenyi:
+      return Topology::erdos_renyi(nodes, edge_probability,
+                                   derive_seed(seed, 0x7090));
     case Kind::kRandomRegular:
       return Topology::random_regular(nodes, degree,
                                       derive_seed(seed, 0x7090));
     case Kind::kSmallWorld:
       return Topology::small_world(nodes, degree, beta,
                                    derive_seed(seed, 0x7090));
+    case Kind::kTorus:
+      return Topology::torus(torus_dims);
+    case Kind::kDragonfly:
+      return Topology::dragonfly(dragonfly_routers, dragonfly_globals,
+                                 dragonfly_terminals);
+    case Kind::kFatTree:
+      return Topology::fat_tree(fat_tree_k);
   }
   throw std::invalid_argument("unknown topology kind");
 }
@@ -29,12 +40,92 @@ std::string_view to_string(TopologySpec::Kind kind) {
       return "complete";
     case TopologySpec::Kind::kRing:
       return "ring";
+    case TopologySpec::Kind::kErdosRenyi:
+      return "erdos-renyi";
     case TopologySpec::Kind::kRandomRegular:
       return "random-regular";
     case TopologySpec::Kind::kSmallWorld:
       return "small-world";
+    case TopologySpec::Kind::kTorus:
+      return "torus";
+    case TopologySpec::Kind::kDragonfly:
+      return "dragonfly";
+    case TopologySpec::Kind::kFatTree:
+      return "fat-tree";
   }
   return "?";
+}
+
+std::string_view to_string(PlacementSpec::Kind kind) {
+  switch (kind) {
+    case PlacementSpec::Kind::kDefault:
+      return "default";
+    case PlacementSpec::Kind::kScattered:
+      return "scattered";
+    case PlacementSpec::Kind::kSingleGroup:
+      return "single-group";
+    case PlacementSpec::Kind::kSingleRow:
+      return "single-row";
+  }
+  return "?";
+}
+
+std::vector<std::uint32_t> placement_nodes(const Topology& topo,
+                                           std::size_t count,
+                                           const PlacementSpec& placement) {
+  if (count > topo.size())
+    throw std::invalid_argument("placement: count exceeds topology size");
+  if (placement.kind == PlacementSpec::Kind::kDefault) {
+    std::vector<std::uint32_t> chosen(count);
+    for (std::size_t i = 0; i < count; ++i)
+      chosen[i] = static_cast<std::uint32_t>(i);
+    return chosen;
+  }
+  if (!topo.has_structure())
+    throw std::invalid_argument(
+        "placement: non-default placement needs a structured topology "
+        "(torus / dragonfly / fat-tree)");
+
+  // Bucket nodes by group or row, preserving index order inside a bucket
+  // (so leaves-first layouts compromise terminals/hosts before routers).
+  const bool by_row = placement.kind == PlacementSpec::Kind::kSingleRow;
+  const std::size_t buckets =
+      by_row ? topo.row_count() : topo.group_count();
+  std::vector<std::vector<std::uint32_t>> members(buckets);
+  for (std::size_t node = 0; node < topo.size(); ++node) {
+    const std::size_t b = by_row ? topo.row_of(node) : topo.group_of(node);
+    members[b].push_back(static_cast<std::uint32_t>(node));
+  }
+
+  std::vector<std::uint32_t> chosen;
+  chosen.reserve(count);
+  if (placement.kind == PlacementSpec::Kind::kScattered) {
+    // Round-robin rank r across groups: one member in every group before
+    // any group contributes its second.
+    for (std::size_t rank = 0; chosen.size() < count; ++rank) {
+      bool any = false;
+      for (std::size_t g = 0; g < buckets && chosen.size() < count; ++g) {
+        if (rank < members[g].size()) {
+          chosen.push_back(members[g][rank]);
+          any = true;
+        }
+      }
+      if (!any) break;  // count > n is excluded above, but stay safe
+    }
+  } else {
+    if (placement.target >= buckets)
+      throw std::invalid_argument(
+          "placement: target group/row out of range");
+    // Fill the target bucket, wrapping into the following buckets only if
+    // the byzantine population overflows it.
+    for (std::size_t off = 0; chosen.size() < count && off < buckets; ++off) {
+      for (std::uint32_t node : members[(placement.target + off) % buckets]) {
+        if (chosen.size() == count) break;
+        chosen.push_back(node);
+      }
+    }
+  }
+  return chosen;
 }
 
 namespace {
@@ -94,9 +185,114 @@ std::string_view to_string(AttackKind kind) {
   return "?";
 }
 
+namespace {
+
+// Derived node count of a structured family, with overflow guards; returns
+// false on overflow so validate() can reject instead of wrapping.
+bool torus_nodes(const std::vector<std::size_t>& dims, std::size_t& out) {
+  out = 1;
+  for (std::size_t d : dims)
+    if (__builtin_mul_overflow(out, d, &out)) return false;
+  return true;
+}
+
+bool dragonfly_nodes(std::size_t a, std::size_t h, std::size_t p,
+                     std::size_t& out) {
+  std::size_t groups = 0;
+  std::size_t per_group = 0;
+  return !__builtin_mul_overflow(a, h, &groups) &&
+         !__builtin_add_overflow(groups, std::size_t{1}, &groups) &&
+         !__builtin_mul_overflow(a, p + 1, &per_group) &&
+         !__builtin_mul_overflow(groups, per_group, &out);
+}
+
+bool fat_tree_nodes(std::size_t k, std::size_t& out) {
+  const std::size_t half = k / 2;
+  std::size_t pod_size = 0;
+  return !__builtin_mul_overflow(half, half, &pod_size) &&
+         !__builtin_add_overflow(pod_size, k, &pod_size) &&
+         !__builtin_mul_overflow(k, pod_size, &out) &&
+         !__builtin_add_overflow(out, half * half, &out);
+}
+
+void validate_topology(const ScenarioSpec& spec) {
+  const TopologySpec& topo = spec.topology;
+  switch (topo.kind) {
+    case TopologySpec::Kind::kErdosRenyi:
+      // !(p >= 0) also rejects NaN.
+      if (!(topo.edge_probability >= 0.0 && topo.edge_probability <= 1.0))
+        throw std::invalid_argument(
+            spec.name + ": topology.edge_probability outside [0, 1]");
+      break;
+    case TopologySpec::Kind::kTorus: {
+      if (topo.torus_dims.empty())
+        throw std::invalid_argument(spec.name +
+                                    ": torus needs non-empty torus_dims");
+      for (std::size_t d : topo.torus_dims)
+        if (d < 2)
+          throw std::invalid_argument(
+              spec.name + ": every torus dimension must be >= 2");
+      std::size_t derived = 0;
+      if (!torus_nodes(topo.torus_dims, derived))
+        throw std::invalid_argument(spec.name +
+                                    ": torus dimension product overflows");
+      if (derived != topo.nodes)
+        throw std::invalid_argument(
+            spec.name + ": topology.nodes != product of torus_dims");
+      break;
+    }
+    case TopologySpec::Kind::kDragonfly: {
+      if (topo.dragonfly_routers < 2)
+        throw std::invalid_argument(
+            spec.name + ": dragonfly needs >= 2 routers per group");
+      if (topo.dragonfly_globals < 1)
+        throw std::invalid_argument(
+            spec.name + ": dragonfly needs >= 1 global link per router");
+      std::size_t derived = 0;
+      if (!dragonfly_nodes(topo.dragonfly_routers, topo.dragonfly_globals,
+                           topo.dragonfly_terminals, derived))
+        throw std::invalid_argument(spec.name +
+                                    ": dragonfly node count overflows");
+      if (derived != topo.nodes)
+        throw std::invalid_argument(
+            spec.name +
+            ": topology.nodes != (a*h+1) * a * (terminals+1) for the "
+            "dragonfly parameters");
+      break;
+    }
+    case TopologySpec::Kind::kFatTree: {
+      if (topo.fat_tree_k < 2 || topo.fat_tree_k % 2 != 0)
+        throw std::invalid_argument(
+            spec.name + ": fat_tree_k must be even and >= 2");
+      std::size_t derived = 0;
+      if (!fat_tree_nodes(topo.fat_tree_k, derived))
+        throw std::invalid_argument(spec.name +
+                                    ": fat-tree node count overflows");
+      if (derived != topo.nodes)
+        throw std::invalid_argument(
+            spec.name +
+            ": topology.nodes != k*((k/2)^2 + k) + (k/2)^2 for fat_tree_k");
+      break;
+    }
+    default:
+      break;
+  }
+  const bool structured = topo.kind == TopologySpec::Kind::kTorus ||
+                          topo.kind == TopologySpec::Kind::kDragonfly ||
+                          topo.kind == TopologySpec::Kind::kFatTree;
+  if (spec.placement.kind != PlacementSpec::Kind::kDefault && !structured)
+    throw std::invalid_argument(
+        spec.name +
+        ": placement kind " + std::string(to_string(spec.placement.kind)) +
+        " needs a structured topology (torus / dragonfly / fat-tree)");
+}
+
+}  // namespace
+
 void validate(const ScenarioSpec& spec) {
   if (spec.topology.nodes == 0)
     throw std::invalid_argument(spec.name + ": topology needs nodes");
+  validate_topology(spec);
   if (spec.gossip.byzantine_count >= spec.topology.nodes)
     throw std::invalid_argument(spec.name +
                                 ": at least one correct node required");

@@ -29,20 +29,74 @@
 namespace unisamp::scenario {
 
 /// Which overlay family the network runs on (Sec. III-C only requires weak
-/// connectivity; the family is an experimental axis).
+/// connectivity; the family is an experimental axis).  The structured
+/// datacenter families (torus / dragonfly / fat-tree) are deterministic in
+/// their parameters — the seed only feeds the randomized overlay families —
+/// and `nodes` must equal the count the parameters derive to (validate()
+/// rejects a mismatch rather than silently resizing).
 struct TopologySpec {
-  enum class Kind { kComplete, kRing, kRandomRegular, kSmallWorld };
+  enum class Kind {
+    kComplete,
+    kRing,
+    kErdosRenyi,
+    kRandomRegular,
+    kSmallWorld,
+    kTorus,
+    kDragonfly,
+    kFatTree,
+  };
 
   Kind kind = Kind::kComplete;
   std::size_t nodes = 40;
   std::size_t degree = 4;  ///< ring k / random-regular d / small-world k
   double beta = 0.1;       ///< small-world rewire probability
+  double edge_probability = 0.1;  ///< erdos-renyi p
+
+  /// Torus dimensions (each >= 2, product == nodes); dimension 0 fastest.
+  std::vector<std::size_t> torus_dims;
+  /// Dragonfly shape: a routers per group, h global links per router, p
+  /// terminals per router; (a*h + 1) * a * (p + 1) == nodes.
+  std::size_t dragonfly_routers = 0;
+  std::size_t dragonfly_globals = 0;
+  std::size_t dragonfly_terminals = 0;
+  /// Fat-tree parameter k (even); k*((k/2)^2 + k) + (k/2)^2 == nodes.
+  std::size_t fat_tree_k = 0;
 
   /// Materializes the overlay; `seed` feeds the randomized families.
   Topology build(std::uint64_t seed) const;
 };
 
 std::string_view to_string(TopologySpec::Kind kind);
+
+/// Where the byzantine population sits in the topology's structure.  The
+/// engine relabels the chosen positions to the front of the index space
+/// (Topology::front_loaded) so GossipConfig's first-b-nodes-are-byzantine
+/// convention is untouched.  kDefault keeps the historical identity layout
+/// (indices [0, b) as built) and is the only kind valid on unstructured
+/// topologies.
+struct PlacementSpec {
+  enum class Kind {
+    kDefault,      ///< first b node indices, as built (no relabelling)
+    kScattered,    ///< round-robin across groups: one per group, then seconds
+    kSingleGroup,  ///< fill group `target` (wrapping into target+1, ... if b
+                   ///< exceeds the group), in index order
+    kSingleRow,    ///< same, over rows (torus line / dragonfly router's
+                   ///< terminals / fat-tree rack)
+  };
+
+  Kind kind = Kind::kDefault;
+  /// kSingleGroup / kSingleRow: which group/row to concentrate in.
+  std::size_t target = 0;
+};
+
+std::string_view to_string(PlacementSpec::Kind kind);
+
+/// Picks the `count` byzantine positions the placement policy assigns on
+/// `topo` (deterministic; no RNG).  Throws std::invalid_argument for a
+/// non-default kind on an unstructured topology or an out-of-range target.
+std::vector<std::uint32_t> placement_nodes(const Topology& topo,
+                                           std::size_t count,
+                                           const PlacementSpec& placement);
 
 /// Which adversary strategy a schedule phase installs.
 enum class AttackKind {
@@ -103,6 +157,9 @@ std::string_view to_string(TimingSpec::Kind kind);
 struct ScenarioSpec {
   std::string name = "scenario";
   TopologySpec topology;
+  /// Byzantine placement over the topology's structure (structured
+  /// topologies only for non-default kinds).
+  PlacementSpec placement;
   /// Gossip parameters; `gossip.seed` is the master seed of the whole run
   /// (topology build, per-node service coins, network RNG).
   GossipConfig gossip;
@@ -124,7 +181,13 @@ struct ScenarioSpec {
 /// Validates the cross-field invariants (victim correct, in range, and
 /// instrumented under observer_stride; schedule non-empty with positive
 /// rounds; adaptive phases backed by a forged pool; intensities in [0, 1];
-/// timing section internally consistent).  Throws std::invalid_argument.
+/// timing section internally consistent; per-family topology parameters
+/// well-formed and consistent with `nodes`; non-default placement only on
+/// structured topologies).  Throws std::invalid_argument.  Weak
+/// connectivity among correct nodes at T0 — the paper's standing
+/// assumption, which erdos_renyi in particular does NOT guarantee — is
+/// seed-dependent and therefore checked when the engine builds the world,
+/// not here.
 void validate(const ScenarioSpec& spec);
 
 }  // namespace unisamp::scenario

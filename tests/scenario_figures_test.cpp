@@ -1,5 +1,6 @@
-// Golden checksums for the adaptive-adversary figure artefacts
-// (bench/adaptive_probing, eclipse_flood, sybil_churn, attack_schedule).
+// Golden checksums for the scenario-engine figure artefacts
+// (bench/adaptive_probing, eclipse_flood, sybil_churn, attack_schedule,
+// topology_placement, dragonfly_event_scale).
 //
 // Each figure's --quick series is pinned per row AND as a whole at the
 // figure's default seed: these are the exact checksums the committed
@@ -42,6 +43,13 @@ const Golden kGolden[] = {
      {15716119119294680058ull, 18177131431478796741ull,
       16426679135349650397ull, 8269765020650497941ull,
       16410175575954962068ull}},
+    {figures::make_topology_placement,
+     602017500606387708ull,
+     {10428550782401195309ull, 6910713710779972010ull,
+      5425150799602194443ull}},
+    {figures::make_dragonfly_event_scale,
+     10752911284199535946ull,
+     {8331360621817134415ull, 2989865669955178383ull}},
 };
 
 FigureSeries compute_quick(const figures::FigureDef& def,

@@ -63,6 +63,133 @@ TEST(ScenarioSpecTest, ValidateRejectsBadSpecs) {
   EXPECT_NO_THROW(validate(base_spec()));
 }
 
+TEST(ScenarioSpecTest, ValidateRejectsBadStructuredTopologies) {
+  // Torus: empty dims, a zero/one dimension, product mismatch, overflow.
+  ScenarioSpec spec = base_spec();
+  spec.topology.kind = TopologySpec::Kind::kTorus;
+  spec.topology.nodes = 20;
+  EXPECT_THROW(validate(spec), std::invalid_argument);  // dims empty
+  spec.topology.torus_dims = {4, 0};
+  EXPECT_THROW(validate(spec), std::invalid_argument);  // zero dim
+  spec.topology.torus_dims = {4, 1, 5};
+  EXPECT_THROW(validate(spec), std::invalid_argument);  // dim < 2
+  spec.topology.torus_dims = {4, 6};
+  EXPECT_THROW(validate(spec), std::invalid_argument);  // 24 != nodes 20
+  spec.topology.torus_dims = {1u << 20, 1u << 20, 1u << 20, 1u << 20};
+  EXPECT_THROW(validate(spec), std::invalid_argument);  // product overflows
+  spec.topology.torus_dims = {4, 5};
+  EXPECT_NO_THROW(validate(spec));
+
+  // Dragonfly: degenerate shape, node-count mismatch, overflow.
+  spec = base_spec();
+  spec.topology.kind = TopologySpec::Kind::kDragonfly;
+  spec.topology.dragonfly_routers = 1;  // local clique needs >= 2
+  spec.topology.dragonfly_globals = 1;
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+  spec.topology.dragonfly_routers = 2;
+  spec.topology.dragonfly_globals = 0;  // no global links: disconnected
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+  spec.topology.dragonfly_globals = 1;
+  spec.topology.dragonfly_terminals = 1;
+  spec.topology.nodes = 20;  // (2*1+1) * 2 * 2 = 12 != 20
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+  spec.topology.nodes = 12;
+  spec.victim = 11;
+  EXPECT_NO_THROW(validate(spec));
+  spec.topology.dragonfly_routers = std::numeric_limits<std::size_t>::max();
+  EXPECT_THROW(validate(spec), std::invalid_argument);  // overflow
+
+  // Fat-tree: odd / zero k, node-count mismatch.
+  spec = base_spec();
+  spec.topology.kind = TopologySpec::Kind::kFatTree;
+  spec.topology.fat_tree_k = 0;
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+  spec.topology.fat_tree_k = 3;
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+  spec.topology.fat_tree_k = 4;
+  spec.topology.nodes = 20;  // derived size is 36
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+  spec.topology.nodes = 36;
+  spec.victim = 35;
+  EXPECT_NO_THROW(validate(spec));
+
+  // Erdos-Renyi: probability outside [0, 1] (and NaN) rejected.
+  spec = base_spec();
+  spec.topology.kind = TopologySpec::Kind::kErdosRenyi;
+  spec.topology.edge_probability = 1.5;
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+  spec.topology.edge_probability = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+  spec.topology.edge_probability = 0.4;
+  EXPECT_NO_THROW(validate(spec));
+}
+
+TEST(ScenarioSpecTest, ValidateRejectsPlacementWithoutStructuredTopology) {
+  ScenarioSpec spec = base_spec();  // complete topology: unstructured
+  spec.placement.kind = PlacementSpec::Kind::kSingleGroup;
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+  spec.placement.kind = PlacementSpec::Kind::kScattered;
+  EXPECT_THROW(validate(spec), std::invalid_argument);
+  spec.placement.kind = PlacementSpec::Kind::kDefault;
+  EXPECT_NO_THROW(validate(spec));
+
+  // The same placement is fine once the topology is structured.
+  spec.topology.kind = TopologySpec::Kind::kTorus;
+  spec.topology.torus_dims = {4, 5};
+  spec.topology.nodes = 20;
+  spec.placement.kind = PlacementSpec::Kind::kScattered;
+  EXPECT_NO_THROW(validate(spec));
+  EXPECT_EQ(to_string(PlacementSpec::Kind::kSingleRow), "single-row");
+}
+
+TEST(ScenarioEngineTest, RejectsDisconnectedCorrectNodesAtT0) {
+  // Regression for the documented erdos_renyi gap: the family is "NOT
+  // guaranteed connected", and the engine must refuse to run an experiment
+  // whose correct subgraph violates the paper's T0 weak-connectivity
+  // assumption instead of silently producing figures from a void premise.
+  ScenarioSpec spec = base_spec();
+  spec.topology.kind = TopologySpec::Kind::kErdosRenyi;
+  spec.topology.edge_probability = 0.01;  // far below the ln(n)/n threshold
+  EXPECT_THROW(
+      {
+        try {
+          ScenarioEngine engine(spec);
+        } catch (const std::invalid_argument& e) {
+          EXPECT_NE(std::string(e.what()).find("not weakly connected"),
+                    std::string::npos)
+              << e.what();
+          throw;
+        }
+      },
+      std::invalid_argument);
+
+  // A comfortably supercritical probability builds and runs.
+  spec.topology.edge_probability = 0.5;
+  ScenarioEngine engine(spec);
+  EXPECT_GT(engine.run().delivered, 0u);
+}
+
+TEST(ScenarioEngineTest, PlacementRelabelsByzantinesIntoTheTargetGroup) {
+  // A dragonfly spec with single-group placement: the engine's world must
+  // still follow GossipConfig's first-b-nodes-are-byzantine convention,
+  // with the relabelled byzantine positions drawn from the target group.
+  ScenarioSpec spec = base_spec();
+  spec.topology.kind = TopologySpec::Kind::kDragonfly;
+  spec.topology.dragonfly_routers = 4;
+  spec.topology.dragonfly_globals = 2;
+  spec.topology.dragonfly_terminals = 3;
+  spec.topology.nodes = 144;
+  spec.placement.kind = PlacementSpec::Kind::kSingleGroup;
+  spec.placement.target = 0;
+  spec.gossip.byzantine_count = 12;
+  spec.victim = 12;
+  ScenarioEngine engine(spec);
+  const ScenarioRunReport report = engine.run();
+  EXPECT_GT(report.delivered, 0u);
+  ASSERT_FALSE(report.points.empty());
+  EXPECT_GT(report.points.back().output_pollution, 0.0);
+}
+
 TEST(ScenarioSpecTest, ValidateRejectsBadTimingSpecs) {
   // Rounds kind with event-only knobs set is a latent mistake, not a no-op.
   ScenarioSpec spec = base_spec();
