@@ -18,6 +18,7 @@
 // variant can be ablated; KnowledgeFreeSampler is the paper-faithful alias.
 #pragma once
 
+#include <algorithm>
 #include <concepts>
 #include <cstdint>
 #include <stdexcept>
@@ -65,11 +66,38 @@ class BasicKnowledgeFreeSampler final : public NodeSampler {
   NodeId process(NodeId id) override { return process_one(id); }
 
   /// Devirtualized batch loop: one virtual dispatch per stream instead of
-  /// per item, with the sketch update/estimate inlined into the loop body.
-  /// Bit-identical to calling process() once per id (same RNG consumption).
+  /// per item, with the sketch work split into a blocked prehash front-end
+  /// (kPrehashBlock ids hashed per kernel pass, counter lines prefetched a
+  /// block ahead — see sketch/layout.hpp) and per-id consumption of the
+  /// precomputed indices.  Bit-identical to calling process() once per id:
+  /// same counters, same emitted ids, same RNG consumption — prehashing
+  /// moves the hashing earlier but never changes it.
   void process_stream(std::span<const NodeId> input, Stream& output) override {
     output.reserve(output.size() + input.size());
-    for (const NodeId id : input) output.push_back(process_one(id));
+    // Double-buffered software pipeline: hash block i+1 before consuming
+    // block i, so the (vector-port) kernel of the next block overlaps the
+    // (scalar-port) membership/eviction work of the current one.  Indices
+    // depend only on the id and the hash coefficients — never on counter
+    // state — so hashing ahead is bit-identical to hashing on demand.
+    std::uint32_t pre[2][Sketch::kMaxDepth * Sketch::kPrehashBlock];
+    std::size_t offset = 0;
+    std::size_t n = std::min(Sketch::kPrehashBlock, input.size());
+    if (n > 0) sketch_.prehash_block(input.data(), n, pre[0]);
+    std::size_t cur = 0;
+    while (offset < input.size()) {
+      const std::size_t next_off = offset + n;
+      const std::size_t next_n =
+          std::min(Sketch::kPrehashBlock, input.size() - next_off);
+      if (next_n > 0)
+        sketch_.prehash_block(input.data() + next_off, next_n, pre[cur ^ 1]);
+      NodeId emit[Sketch::kPrehashBlock];
+      for (std::size_t i = 0; i < n; ++i)
+        emit[i] = process_prehashed(input[offset + i], pre[cur], i);
+      output.insert(output.end(), emit, emit + n);
+      offset = next_off;
+      n = next_n;
+      cur ^= 1;
+    }
   }
 
   NodeId sample() override {
@@ -99,7 +127,16 @@ class BasicKnowledgeFreeSampler final : public NodeSampler {
     // primitive hashes the s rows once and reuses the row indices for the
     // estimate read — bit-identical to update(id) then estimate(id), at
     // half the hashing cost (the dominant term of this hot path).
-    const std::uint64_t f_hat = sketch_.update_and_estimate(id);
+    return admit_and_emit(id, sketch_.update_and_estimate(id));
+  }
+
+  NodeId process_prehashed(NodeId id, const std::uint32_t* pre,
+                           std::size_t i) {
+    return admit_and_emit(id, sketch_.update_and_estimate_prehashed(pre, i));
+  }
+
+  /// Algorithm 3 lines 7-12 given the post-update estimate f̂_id.
+  NodeId admit_and_emit(NodeId id, std::uint64_t f_hat) {
     const std::uint64_t min_sigma = sketch_.min_counter();
     if (!contains(id)) {
       if (gamma_.size() < c_) {

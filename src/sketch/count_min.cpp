@@ -1,5 +1,7 @@
 #include "sketch/count_min.hpp"
 
+#include "hash/two_universal.hpp"
+#include "sketch/kernels_impl.hpp"
 #include "util/rng.hpp"
 
 #include <algorithm>
@@ -8,6 +10,33 @@
 #include <stdexcept>
 
 namespace unisamp {
+
+namespace {
+
+using sketch_detail::AlignedU64Buffer;
+using sketch_detail::HashBlockArgs;
+using sketch_detail::kPrefetchMinBytes;
+using sketch_detail::kPrehashBlock;
+using sketch_detail::scalar_row_hash;
+
+/// Draws the Carter-Wegman coefficient bank into SoA form, consuming the
+/// seed stream exactly as TwoUniversalFamily does — sketches stay
+/// bit-compatible with every state produced by the row-major era.
+void draw_coefficients(std::size_t depth, std::size_t width,
+                       std::uint64_t seed, AlignedU64Buffer& a,
+                       AlignedU64Buffer& b) {
+  const TwoUniversalFamily family(depth, width, seed);
+  for (std::size_t row = 0; row < depth; ++row) {
+    a[row] = family.at(row).coeff_a();
+    b[row] = family.at(row).coeff_b();
+  }
+}
+
+std::uint64_t reciprocal_magic(std::uint64_t range) {
+  return std::numeric_limits<std::uint64_t>::max() / range;
+}
+
+}  // namespace
 
 CountMinParams CountMinParams::from_error(double epsilon, double delta,
                                           std::uint64_t seed) {
@@ -27,7 +56,11 @@ CountMinParams CountMinParams::from_dimensions(std::size_t k, std::size_t s,
                                                std::uint64_t seed) {
   if (k == 0 || s == 0)
     throw std::invalid_argument("sketch dimensions must be positive");
-  return CountMinParams{k, s, seed};
+  CountMinParams p;
+  p.width = k;
+  p.depth = s;
+  p.seed = seed;
+  return p;
 }
 
 double CountMinParams::epsilon() const {
@@ -39,13 +72,16 @@ double CountMinParams::delta() const {
 }
 
 CountMinSketch::CountMinSketch(const CountMinParams& params)
-    : width_(params.width),
-      depth_(params.depth),
-      hashes_(params.depth, params.width, params.seed),
-      table_(params.width * params.depth, 0),
+    : layout_(sketch_detail::make_layout(params.width, params.depth)),
+      a_(params.depth),
+      b_(params.depth),
+      magic_(reciprocal_magic(params.width)),
+      kernel_(sketch_detail::kernel_fn(
+          sketch_detail::resolve_kernel(params.kernel))),
+      resolved_(sketch_detail::resolve_kernel(params.kernel)),
+      table_(layout_.padded_count()),
       min_multiplicity_(params.width * params.depth) {
-  if (width_ == 0 || depth_ == 0)
-    throw std::invalid_argument("sketch dimensions must be positive");
+  draw_coefficients(params.depth, params.width, params.seed, a_, b_);
 }
 
 void CountMinSketch::update(std::uint64_t item, std::uint64_t count) {
@@ -54,68 +90,96 @@ void CountMinSketch::update(std::uint64_t item, std::uint64_t count) {
 
 std::uint64_t CountMinSketch::update_and_estimate(std::uint64_t item,
                                                   std::uint64_t count) {
-  // One Mersenne reduction per item, shared by all rows (see
-  // TwoUniversalFamily::reduce).
-  const std::uint64_t mixed = TwoUniversalFamily::reduce(SplitMix64::mix(item));
+  const std::uint64_t mixed = premix(item);
   // Single pass: each row hashes once, and the post-increment cell value
   // feeds the estimate directly — the separate estimate() call would hash
   // the same s rows again to read back exactly these cells.  Each row maps
   // the item to a distinct cell, so the multiplicity of the global minimum
-  // adjusts cell-by-cell and the full rescan happens only when the last
-  // minimal cell was raised (rare: amortized O(1) over a stream).
+  // adjusts cell-by-cell (counted branchlessly — min_counter_ cannot change
+  // mid-pass) and the full rescan happens only when the last minimal cell
+  // was raised (rare: amortized O(1) over a stream).
+  // Locals for everything the loop reads: the table stores could alias the
+  // members (and the coefficient banks) through the u64* otherwise.
+  std::uint64_t* const table = table_.data();
+  const std::uint64_t* const a = a_.data();
+  const std::uint64_t* const b = b_.data();
+  const std::uint64_t min_c = min_counter_;
   std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
-  for (std::size_t row = 0; row < depth_; ++row) {
-    std::uint64_t& cell = table_[row * width_ + hashes_.apply_reduced(row, mixed)];
-    if (cell == min_counter_) --min_multiplicity_;
+  std::size_t hits = 0;
+  for (std::size_t row = 0; row < layout_.depth; ++row) {
+    const std::uint64_t col =
+        scalar_row_hash(a[row], b[row], magic_, layout_.width, mixed);
+    std::uint64_t& cell = table[col * layout_.stride + row];
+    hits += (cell == min_c);
     cell += count;
     best = std::min(best, cell);
   }
+  min_multiplicity_ -= hits;
   total_ += count;
   if (min_multiplicity_ == 0) recompute_min();
   return best;
 }
 
 std::uint64_t CountMinSketch::estimate(std::uint64_t item) const {
-  const std::uint64_t mixed = TwoUniversalFamily::reduce(SplitMix64::mix(item));
+  const std::uint64_t mixed = premix(item);
   std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
-  for (std::size_t row = 0; row < depth_; ++row)
-    best = std::min(best, table_[row * width_ + hashes_.apply_reduced(row, mixed)]);
+  for (std::size_t row = 0; row < layout_.depth; ++row) {
+    const std::uint64_t col = scalar_row_hash(a_[row], b_[row], magic_,
+                                              layout_.width, mixed);
+    best = std::min(best, table_[col * layout_.stride + row]);
+  }
   return best;
 }
 
 void CountMinSketch::merge(const CountMinSketch& other) {
-  if (other.width_ != width_ || other.depth_ != depth_)
+  if (other.layout_.width != layout_.width ||
+      other.layout_.depth != layout_.depth)
     throw std::invalid_argument("cannot merge sketches of different shapes");
+  // Identical shapes share a stride; padding cells add 0 + 0.
   for (std::size_t i = 0; i < table_.size(); ++i) table_[i] += other.table_[i];
   total_ += other.total_;
   recompute_min();
 }
 
 void CountMinSketch::halve() {
-  for (std::uint64_t& v : table_) v /= 2;
+  for (std::size_t i = 0; i < table_.size(); ++i) table_[i] /= 2;
   total_ /= 2;
   recompute_min();
 }
 
 void CountMinSketch::recompute_min() {
+  // Logical cells only: the padding rows of each column stay zero forever
+  // and must not masquerade as the matrix minimum.
   std::uint64_t m = std::numeric_limits<std::uint64_t>::max();
-  for (std::uint64_t v : table_) m = std::min(m, v);
+  std::size_t mult = 0;
+  for (std::size_t col = 0; col < layout_.width; ++col) {
+    const std::uint64_t* column = table_.data() + col * layout_.stride;
+    for (std::size_t row = 0; row < layout_.depth; ++row) {
+      const std::uint64_t v = column[row];
+      if (v < m) {
+        m = v;
+        mult = 1;
+      } else if (v == m) {
+        ++mult;
+      }
+    }
+  }
   min_counter_ = m;
-  min_multiplicity_ = 0;
-  for (std::uint64_t v : table_)
-    if (v == m) ++min_multiplicity_;
+  min_multiplicity_ = mult;
 }
 
 ConservativeCountMinSketch::ConservativeCountMinSketch(
     const CountMinParams& params)
-    : width_(params.width),
-      depth_(params.depth),
-      hashes_(params.depth, params.width, params.seed),
-      table_(params.width * params.depth, 0),
-      min_multiplicity_(params.width * params.depth),
-      cells_(params.depth, 0) {
-  if (width_ == 0 || depth_ == 0)
-    throw std::invalid_argument("sketch dimensions must be positive");
+    : layout_(sketch_detail::make_layout(params.width, params.depth)),
+      a_(params.depth),
+      b_(params.depth),
+      magic_(reciprocal_magic(params.width)),
+      kernel_(sketch_detail::kernel_fn(
+          sketch_detail::resolve_kernel(params.kernel))),
+      resolved_(sketch_detail::resolve_kernel(params.kernel)),
+      table_(layout_.padded_count()),
+      min_multiplicity_(params.width * params.depth) {
+  draw_coefficients(params.depth, params.width, params.seed, a_, b_);
 }
 
 void ConservativeCountMinSketch::update(std::uint64_t item,
@@ -123,44 +187,32 @@ void ConservativeCountMinSketch::update(std::uint64_t item,
   (void)update_and_estimate(item, count);
 }
 
-std::uint64_t ConservativeCountMinSketch::update_and_estimate(
-    std::uint64_t item, std::uint64_t count) {
-  const std::uint64_t mixed = TwoUniversalFamily::reduce(SplitMix64::mix(item));
-  // Depth <= 8 covers every configuration the paper evaluates (s <= 40 is
-  // only used by the urn analysis, not the sampler hot path).  Dispatching
-  // to a compile-time depth fully unrolls both passes and keeps the
-  // (value, index) pairs in registers: the raise pass tests the value read
-  // in pass 1 instead of re-loading the cell from the table, halving the
-  // memory traffic of the read-then-raise walk.
-  switch (depth_) {
-    case 1: return fused_update<1>(mixed, count);
-    case 2: return fused_update<2>(mixed, count);
-    case 3: return fused_update<3>(mixed, count);
-    case 4: return fused_update<4>(mixed, count);
-    case 5: return fused_update<5>(mixed, count);
-    case 6: return fused_update<6>(mixed, count);
-    case 7: return fused_update<7>(mixed, count);
-    case 8: return fused_update<8>(mixed, count);
-    default: break;
-  }
-  // Pass 1: hash each row once, remembering the cell, and read the current
-  // estimate (the row minimum the conservative rule raises everything to).
+std::uint64_t ConservativeCountMinSketch::raise_cells(const std::uint32_t* idx,
+                                                      std::size_t idx_stride,
+                                                      std::uint64_t count) {
+  // Pass 1: read the current estimate (the row minimum the conservative
+  // rule raises everything to), keeping each cell's value on the stack so
+  // the raise pass never re-loads it (depth is capped at kMaxDepth).
+  std::uint64_t* const table = table_.data();
+  const std::uint64_t min_c = min_counter_;
+  std::uint64_t val[kMaxDepth];
   std::uint64_t est = std::numeric_limits<std::uint64_t>::max();
-  for (std::size_t row = 0; row < depth_; ++row) {
-    cells_[row] = row * width_ + hashes_.apply_reduced(row, mixed);
-    est = std::min(est, table_[cells_[row]]);
+  for (std::size_t row = 0; row < layout_.depth; ++row) {
+    val[row] = table[idx[row * idx_stride]];
+    est = std::min(est, val[row]);
   }
   // Pass 2: raise the lagging cells, tracking the global minimum exactly as
   // CountMinSketch::update does (amortized O(1): the full rescan happens
   // only when the last minimal cell leaves the minimum).
   const std::uint64_t target = est + count;
-  for (std::size_t row = 0; row < depth_; ++row) {
-    std::uint64_t& cell = table_[cells_[row]];
-    if (cell < target) {
-      if (cell == min_counter_) --min_multiplicity_;
-      cell = target;
+  std::size_t hits = 0;
+  for (std::size_t row = 0; row < layout_.depth; ++row) {
+    if (val[row] < target) {
+      hits += (val[row] == min_c);
+      table[idx[row * idx_stride]] = target;
     }
   }
+  min_multiplicity_ -= hits;
   total_ += count;
   if (min_multiplicity_ == 0) recompute_min();
   // After the raise, every cell the item maps to is >= target and at least
@@ -169,44 +221,51 @@ std::uint64_t ConservativeCountMinSketch::update_and_estimate(
   return target;
 }
 
-template <std::size_t D>
-std::uint64_t ConservativeCountMinSketch::fused_update(std::uint64_t mixed,
-                                                       std::uint64_t count) {
-  std::size_t idx[D];
-  std::uint64_t val[D];
-  std::uint64_t est = std::numeric_limits<std::uint64_t>::max();
-  for (std::size_t row = 0; row < D; ++row) {
-    idx[row] = row * width_ + hashes_.apply_reduced(row, mixed);
-    val[row] = table_[idx[row]];
-    est = std::min(est, val[row]);
+std::uint64_t ConservativeCountMinSketch::update_and_estimate(
+    std::uint64_t item, std::uint64_t count) {
+  const std::uint64_t mixed = premix(item);
+  std::uint32_t idx[kMaxDepth];
+  for (std::size_t row = 0; row < layout_.depth; ++row) {
+    const std::uint64_t col = scalar_row_hash(a_[row], b_[row], magic_,
+                                              layout_.width, mixed);
+    idx[row] = static_cast<std::uint32_t>(col * layout_.stride + row);
   }
-  const std::uint64_t target = est + count;
-  for (std::size_t row = 0; row < D; ++row) {
-    if (val[row] < target) {
-      if (val[row] == min_counter_) --min_multiplicity_;
-      table_[idx[row]] = target;
-    }
-  }
-  total_ += count;
-  if (min_multiplicity_ == 0) recompute_min();
-  return target;
+  return raise_cells(idx, 1, count);
 }
 
 std::uint64_t ConservativeCountMinSketch::estimate(std::uint64_t item) const {
-  const std::uint64_t mixed = TwoUniversalFamily::reduce(SplitMix64::mix(item));
+  const std::uint64_t mixed = premix(item);
   std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
-  for (std::size_t row = 0; row < depth_; ++row)
-    best = std::min(best, table_[row * width_ + hashes_.apply_reduced(row, mixed)]);
+  for (std::size_t row = 0; row < layout_.depth; ++row) {
+    const std::uint64_t col = scalar_row_hash(a_[row], b_[row], magic_,
+                                              layout_.width, mixed);
+    best = std::min(best, table_[col * layout_.stride + row]);
+  }
   return best;
+}
+
+std::uint64_t ConservativeCountMinSketch::update_and_estimate_prehashed(
+    const std::uint32_t* pre, std::size_t i, std::uint64_t count) {
+  return raise_cells(pre + i, kPrehashBlock, count);
 }
 
 void ConservativeCountMinSketch::recompute_min() {
   std::uint64_t m = std::numeric_limits<std::uint64_t>::max();
-  for (std::uint64_t v : table_) m = std::min(m, v);
+  std::size_t mult = 0;
+  for (std::size_t col = 0; col < layout_.width; ++col) {
+    const std::uint64_t* column = table_.data() + col * layout_.stride;
+    for (std::size_t row = 0; row < layout_.depth; ++row) {
+      const std::uint64_t v = column[row];
+      if (v < m) {
+        m = v;
+        mult = 1;
+      } else if (v == m) {
+        ++mult;
+      }
+    }
+  }
   min_counter_ = m;
-  min_multiplicity_ = 0;
-  for (std::uint64_t v : table_)
-    if (v == m) ++min_multiplicity_;
+  min_multiplicity_ = mult;
 }
 
 }  // namespace unisamp

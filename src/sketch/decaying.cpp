@@ -30,6 +30,20 @@ std::uint64_t DecayingCountMinSketch::update_and_estimate(std::uint64_t item,
   return est;
 }
 
+std::uint64_t DecayingCountMinSketch::update_and_estimate_prehashed(
+    const std::uint32_t* pre, std::size_t i, std::uint64_t count) {
+  std::uint64_t est = inner_.update_and_estimate_prehashed(pre, i, count);
+  since_decay_ += count;
+  if (since_decay_ >= half_life_) {
+    // Same slow path as update_and_estimate: the halving invalidates the
+    // fused read; the prehashed indices survive the decay, so the re-read
+    // reuses them.  Bit-identical to update(item); estimate(item).
+    decay();
+    est = inner_.estimate_prehashed(pre, i);
+  }
+  return est;
+}
+
 std::uint64_t DecayingCountMinSketch::estimate(std::uint64_t item) const {
   return inner_.estimate(item);
 }

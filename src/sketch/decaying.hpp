@@ -22,6 +22,9 @@ namespace unisamp {
 
 class DecayingCountMinSketch {
  public:
+  static constexpr std::size_t kPrehashBlock = CountMinSketch::kPrehashBlock;
+  static constexpr std::size_t kMaxDepth = CountMinSketch::kMaxDepth;
+
   /// `half_life` = number of updates after which past contributions weigh
   /// half.  Decay is applied lazily in O(k*s) bursts every half_life
   /// updates (integer halving), keeping update O(s) amortised.
@@ -36,12 +39,35 @@ class DecayingCountMinSketch {
   /// a separate estimate() call after update() would).
   std::uint64_t update_and_estimate(std::uint64_t item,
                                     std::uint64_t count = 1);
+
+  /// Batch front-end (see CountMinSketch::prehash_block).  The prehashed
+  /// indices depend only on the id and the hash coefficients, so they stay
+  /// valid across decay boundaries — a block prehashed before a halving is
+  /// still consumed correctly after it.
+  void prehash_block(const std::uint64_t* items, std::size_t n,
+                     std::uint32_t* out) const {
+    inner_.prehash_block(items, n, out);
+  }
+  std::uint64_t update_and_estimate_prehashed(const std::uint32_t* pre,
+                                              std::size_t i,
+                                              std::uint64_t count = 1);
+  std::uint64_t estimate_prehashed(const std::uint32_t* pre,
+                                   std::size_t i) const {
+    return inner_.estimate_prehashed(pre, i);
+  }
   std::uint64_t min_counter() const;
   std::uint64_t total_count() const { return inner_.total_count(); }
   std::size_t width() const { return inner_.width(); }
   std::size_t depth() const { return inner_.depth(); }
   std::uint64_t half_life() const { return half_life_; }
   std::uint64_t decay_count() const { return decays_; }
+  /// Logical counter (row, col) of the inner sketch — layout-independent
+  /// state probe for the differential tests.
+  std::uint64_t counter_at(std::size_t row, std::size_t col) const {
+    return inner_.counter_at(row, col);
+  }
+  /// The hashing kernel the inner sketch resolved to.
+  std::string_view kernel_name() const { return inner_.kernel_name(); }
 
  private:
   void decay();

@@ -1,0 +1,15 @@
+// AVX2 hashing kernel: 4 ids per 256-bit pass.  This translation unit is
+// compiled with -mavx2 (see src/CMakeLists.txt) and only ever CALLED after
+// __builtin_cpu_supports("avx2") confirmed the host can run it
+// (sketch/layout.cpp).  Bit-identical to the scalar kernel by the
+// canonical-residue argument in kernels_impl.hpp.
+#include "sketch/kernels_impl.hpp"
+
+namespace unisamp::sketch_detail {
+
+void hash_block_avx2(const HashBlockArgs& args, const std::uint64_t* items,
+                     std::size_t n, std::uint32_t* out) {
+  hash_block_vec<4>(args, items, n, out);
+}
+
+}  // namespace unisamp::sketch_detail

@@ -1,0 +1,16 @@
+// AVX-512 hashing kernel: 8 ids per 512-bit pass (the 64-bit lane multiply
+// maps to vpmullq, hence the DQ requirement).  This translation unit is
+// compiled with -mavx512f -mavx512dq (see src/CMakeLists.txt) and only ever
+// CALLED after __builtin_cpu_supports confirmed both features
+// (sketch/layout.cpp).  Bit-identical to the scalar kernel by the
+// canonical-residue argument in kernels_impl.hpp.
+#include "sketch/kernels_impl.hpp"
+
+namespace unisamp::sketch_detail {
+
+void hash_block_avx512(const HashBlockArgs& args, const std::uint64_t* items,
+                       std::size_t n, std::uint32_t* out) {
+  hash_block_vec<8>(args, items, n, out);
+}
+
+}  // namespace unisamp::sketch_detail

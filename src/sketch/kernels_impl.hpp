@@ -1,0 +1,220 @@
+// Shared implementation of the sketch hashing kernels (sketch/layout.hpp).
+//
+// A kernel owns the whole per-item front end: premix the raw id
+// (SplitMix64::mix, then one Mersenne reduction shared by all rows), and
+// per row the hash ((a_r * x + b_r) mod p) mod k for the Mersenne prime
+// p = 2^61 - 1 (hash/two_universal.hpp).  The scalar helpers below
+// reproduce CountMinSketch::premix and TwoUniversalHash::apply_reduced
+// operation by operation; the vector template computes the same
+// *canonical* residues — the mix is exact lane-parallel integer math, the
+// residue mod p in [0, p) is unique, and the final `mod k` is an exact
+// integer remainder, so any kernel that fully reduces produces
+// bit-identical columns.  The vector math avoids 128-bit (and even 64-bit) lane
+// multiplies entirely, building every product from 32x32->64 multiplies
+// (vpmuludq — 1 uop, vs 3 for the 64-bit vpmullq):
+//
+//   a*x  with a, x < 2^61, split into 32-bit halves (xh < 2^29):
+//        a*x = t3*2^64 + (t1 + t2)*2^32 + t0
+//   and since 2^61 === 1 (mod p):  2^64 === 8,  m*2^32 === (m >> 29)
+//        + ((m & (2^29-1)) << 32) — every term lands below 2^61, so the
+//   whole sum plus b stays below 2^63 + 2^34 and one shift-add fold plus
+//   one conditional subtract canonicalises it.
+//
+//   n mod k uses the same fixed-point reciprocal as the scalar code
+//   (magic = floor((2^64-1)/k)); the 64x64 high product is assembled
+//   exactly from four 32x32 products (the standard carry-correct split),
+//   so the quotient — exact or one low, as in fast_mod_range — and the
+//   corrected remainder match bit for bit.
+//
+// This header is included by one translation unit per ISA
+// (kernels_scalar.cpp / kernels_avx2.cpp / kernels_avx512.cpp), each
+// compiled with its own -m flags, so the template instantiates into the
+// intended instruction set without function-level target attributes.  The
+// per-ISA VecOf specialisations are gated on the compiler's own __AVX2__ /
+// __AVX512F__ macros, which those -m flags define per file.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+#include "hash/two_universal.hpp"
+#include "sketch/layout.hpp"
+#include "util/rng.hpp"
+
+namespace unisamp::sketch_detail {
+
+inline constexpr std::uint64_t kMersennePrime = (1ULL << 61) - 1;
+
+/// The whole-sketch front end for one raw id: SplitMix64 premix, then one
+/// Mersenne reduction shared by all rows (== CountMinSketch::premix).
+inline std::uint64_t premix_scalar(std::uint64_t item) noexcept {
+  return TwoUniversalFamily::reduce(SplitMix64::mix(item));
+}
+
+/// Scalar reference: one row hash, identical to
+/// TwoUniversalHash::apply_reduced(x) for h_{a,b} with this range/magic.
+inline std::uint64_t scalar_row_hash(std::uint64_t a, std::uint64_t b,
+                                     std::uint64_t magic, std::uint64_t range,
+                                     std::uint64_t x) noexcept {
+  constexpr std::uint64_t p = kMersennePrime;
+  const __uint128_t prod = static_cast<__uint128_t>(a) * x;
+  std::uint64_t r = (static_cast<std::uint64_t>(prod) & p) +
+                    static_cast<std::uint64_t>(prod >> 61);
+  if (r >= p) r -= p;  // canonical a*x mod p
+  const std::uint64_t u = r + b;
+  r = (u & p) + (u >> 61);
+  if (r >= p) r -= p;  // canonical (a*x + b) mod p
+  const std::uint64_t q = static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(r) * magic) >> 64);
+  std::uint64_t col = r - q * range;
+  if (col >= range) col -= range;
+  return col;
+}
+
+/// Scalar kernel body (also the tail path of the vector kernels): premix
+/// items [first, n) once, then hash every row against the reduced values.
+inline void hash_block_scalar_impl(const HashBlockArgs& args,
+                                   const std::uint64_t* items, std::size_t n,
+                                   std::uint32_t* out, std::size_t first) {
+  std::uint64_t mixed[kPrehashBlock];
+  for (std::size_t i = first; i < n; ++i) mixed[i] = premix_scalar(items[i]);
+  for (std::size_t r = 0; r < args.depth; ++r) {
+    const std::uint64_t a = args.a[r];
+    const std::uint64_t b = args.b[r];
+    std::uint32_t* row_out = out + r * kPrehashBlock;
+    for (std::size_t i = first; i < n; ++i) {
+      const std::uint64_t col =
+          scalar_row_hash(a, b, args.magic, args.range, mixed[i]);
+      row_out[i] = static_cast<std::uint32_t>(col * args.stride + r);
+    }
+  }
+}
+
+/// Per-width vector traits.  mul32(a, b) is the 32x32->64 lane multiply
+/// (vpmuludq): it reads ONLY the low 32 bits of each operand lane, so
+/// callers never mask.  Spelled via explicit specialisations with literal
+/// byte counts: gcc silently IGNORES a vector_size attribute whose argument
+/// depends on a template parameter, which would degrade the type to a
+/// plain scalar.
+template <int W>
+struct VecOf;
+
+#if defined(__AVX2__)
+template <>
+struct VecOf<4> {
+  typedef std::uint64_t type __attribute__((vector_size(32)));
+  typedef std::uint32_t narrow __attribute__((vector_size(16)));
+  static type mul32(type a, type b) noexcept {
+    return (type)_mm256_mul_epu32((__m256i)a, (__m256i)b);
+  }
+};
+#endif
+
+#if defined(__AVX512F__)
+template <>
+struct VecOf<8> {
+  typedef std::uint64_t type __attribute__((vector_size(64)));
+  typedef std::uint32_t narrow __attribute__((vector_size(32)));
+  static type mul32(type a, type b) noexcept {
+    // maskz + full mask == _mm512_mul_epu32, but its expansion seeds the
+    // destination with setzero instead of _mm512_undefined_epi32, which
+    // gcc 12 flags as maybe-uninitialized under -Werror.
+    return (type)_mm512_maskz_mul_epu32(0xff, (__m512i)a, (__m512i)b);
+  }
+};
+#endif
+
+/// Vector kernel over W 64-bit lanes (items), instantiated per ISA.
+/// W must divide kPrehashBlock; the sub-W tail runs the scalar body.
+template <int W>
+inline void hash_block_vec(const HashBlockArgs& args,
+                           const std::uint64_t* items, std::size_t n,
+                           std::uint32_t* out) {
+  typedef typename VecOf<W>::type V;
+  typedef typename VecOf<W>::narrow N;
+  static_assert(kPrehashBlock % W == 0);
+  constexpr std::uint64_t p = kMersennePrime;
+  V pv = {};
+  pv += p;
+  V rangev = {};
+  rangev += args.range;  // low-32 vpmuludq operand (range < 2^32)
+  V mlv = {};
+  mlv += (args.magic & 0xffffffffULL);
+  V mhv = {};
+  mhv += (args.magic >> 32);
+  V stridev = {};
+  stridev += args.stride;
+
+  // Premix W raw ids per group: SplitMix64::mix lane-parallel (the 64-bit
+  // lane multiplies compile to vpmullq under AVX-512DQ and a short
+  // vpmuludq sequence under AVX2), then the canonical Mersenne reduction —
+  // the exact integer ops of premix_scalar, so the reduced values are
+  // bit-identical.  The ids and their high halves (xh < 2^29 after the
+  // reduction) are shared by every row.
+  const std::size_t groups = n / W;
+  V x[kPrehashBlock / W], xh[kPrehashBlock / W];
+  for (std::size_t g = 0; g < groups; ++g) {
+    V z;
+    std::memcpy(&z, items + g * W, sizeof(V));
+    z += 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    V red = (z & p) + (z >> 61);
+    red -= (V)(red >= pv) & pv;
+    x[g] = red;
+    xh[g] = red >> 32;
+  }
+
+  for (std::size_t r = 0; r < args.depth; ++r) {
+    const std::uint64_t a = args.a[r];
+    const std::uint64_t b = args.b[r];
+    V alv = {};
+    alv += (a & 0xffffffffULL);
+    V ahv = {};
+    ahv += (a >> 32);
+    std::uint32_t* row_out = out + r * kPrehashBlock;
+    for (std::size_t g = 0; g < groups; ++g) {
+      // a*x via 32x32 partial products, folded mod p term by term.
+      const V t0 = VecOf<W>::mul32(x[g], alv);  // xl*al < 2^64
+      const V m = VecOf<W>::mul32(xh[g], alv) +
+                  VecOf<W>::mul32(x[g], ahv);   // < 2^62 (xh, ah < 2^29)
+      const V t3 = VecOf<W>::mul32(xh[g], ahv);  // < 2^58
+      V sum = (t3 << 3)                // t3 * 2^64 === t3 * 8   (mod p)
+              + (m >> 29)              // m * 2^32 === (m >> 29)
+              + ((m & ((1ULL << 29) - 1)) << 32)  //  + (m mod 2^29) << 32
+              + (t0 & p) + (t0 >> 61)  // t0 === low 61 bits + carry
+              + b;                     // < 2^63 + 2^34 in total
+      V v = (sum & p) + (sum >> 61);
+      v -= (V)(v >= pv) & pv;  // canonical (a*x + b) mod p
+
+      // v mod range: exact 64x64 high product with the fixed-point
+      // reciprocal, then the one-low quotient correction.
+      const V vh = v >> 32;
+      const V ll = VecOf<W>::mul32(v, mlv);
+      const V lh = VecOf<W>::mul32(v, mhv);
+      const V hl = VecOf<W>::mul32(vh, mlv);
+      const V mid = (ll >> 32) + (lh & 0xffffffffULL) + (hl & 0xffffffffULL);
+      const V q = VecOf<W>::mul32(vh, mhv) + (lh >> 32) + (hl >> 32) +
+                  (mid >> 32);
+      // Low 64 bits of q*range from two 32x32 products (q < 2^61).
+      const V qr =
+          VecOf<W>::mul32(q, rangev) + (VecOf<W>::mul32(q >> 32, rangev) << 32);
+      V col = v - qr;
+      col -= (V)(col >= rangev) & rangev;
+
+      V idx = VecOf<W>::mul32(col, stridev);  // col < 2^32, stride < 2^32
+      idx += r;
+      const N packed = __builtin_convertvector(idx, N);
+      std::memcpy(row_out + g * W, &packed, sizeof(N));
+    }
+  }
+  if (groups * W < n) hash_block_scalar_impl(args, items, n, out, groups * W);
+}
+
+}  // namespace unisamp::sketch_detail

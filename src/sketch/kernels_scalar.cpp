@@ -1,0 +1,13 @@
+// Portable scalar hashing kernel — the reference every SIMD kernel is
+// differential-tested against, and the fallback on CPUs (or builds) without
+// one.  See kernels_impl.hpp for the shared arithmetic.
+#include "sketch/kernels_impl.hpp"
+
+namespace unisamp::sketch_detail {
+
+void hash_block_scalar(const HashBlockArgs& args, const std::uint64_t* items,
+                       std::size_t n, std::uint32_t* out) {
+  hash_block_scalar_impl(args, items, n, out, 0);
+}
+
+}  // namespace unisamp::sketch_detail

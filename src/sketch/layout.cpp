@@ -1,0 +1,97 @@
+#include "sketch/layout.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace unisamp::sketch_detail {
+
+namespace {
+
+/// UNISAMP_FORCE_SCALAR set to anything but "" or "0" pins kAuto to scalar.
+bool env_force_scalar() {
+  const char* value = std::getenv("UNISAMP_FORCE_SCALAR");
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+/// Best SIMD kernel compiled into this binary that the CPU can run.
+ResolvedKernel best_simd() {
+#if defined(UNISAMP_HAVE_AVX512_KERNEL)
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq"))
+    return ResolvedKernel::kAvx512;
+#endif
+#if defined(UNISAMP_HAVE_AVX2_KERNEL)
+  if (__builtin_cpu_supports("avx2")) return ResolvedKernel::kAvx2;
+#endif
+  return ResolvedKernel::kScalar;
+}
+
+}  // namespace
+
+ResolvedKernel resolve_kernel(SketchKernel requested) {
+  switch (requested) {
+    case SketchKernel::kScalar:
+      return ResolvedKernel::kScalar;
+    case SketchKernel::kSimd:
+      // An explicit SIMD request ignores UNISAMP_FORCE_SCALAR: the knob pins
+      // defaults so CI can sweep the whole suite per kernel, while tests that
+      // deliberately compare kernels in one process still can.
+      return best_simd();
+    case SketchKernel::kAuto:
+      break;
+  }
+  return env_force_scalar() ? ResolvedKernel::kScalar : best_simd();
+}
+
+HashBlockFn kernel_fn(ResolvedKernel kernel) {
+  switch (kernel) {
+#if defined(UNISAMP_HAVE_AVX512_KERNEL)
+    case ResolvedKernel::kAvx512:
+      return &hash_block_avx512;
+#endif
+#if defined(UNISAMP_HAVE_AVX2_KERNEL)
+    case ResolvedKernel::kAvx2:
+      return &hash_block_avx2;
+#endif
+    default:
+      return &hash_block_scalar;
+  }
+}
+
+std::string_view kernel_name(ResolvedKernel kernel) {
+  switch (kernel) {
+    case ResolvedKernel::kAvx512:
+      return "avx512";
+    case ResolvedKernel::kAvx2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+InterleavedLayout make_layout(std::size_t width, std::size_t depth) {
+  if (width == 0 || depth == 0) {
+    throw std::invalid_argument(
+        "CountMinSketch: width and depth must be nonzero");
+  }
+  if (depth > kMaxDepth) {
+    throw std::invalid_argument("CountMinSketch: depth " +
+                                std::to_string(depth) + " exceeds cap " +
+                                std::to_string(kMaxDepth));
+  }
+  InterleavedLayout layout;
+  layout.width = width;
+  layout.depth = depth;
+  layout.stride =
+      (depth + kCountersPerLine - 1) / kCountersPerLine * kCountersPerLine;
+  // Prehash buffers carry physical indices as u32; the last addressable
+  // index is (width - 1) * stride + depth - 1 < width * stride.
+  if (layout.stride > (std::size_t{1} << 32) / width) {
+    throw std::invalid_argument(
+        "CountMinSketch: width * padded depth exceeds 32-bit index space");
+  }
+  return layout;
+}
+
+}  // namespace unisamp::sketch_detail

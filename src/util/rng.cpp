@@ -2,23 +2,6 @@
 
 namespace unisamp {
 
-std::uint64_t Xoshiro256::next_below(std::uint64_t bound) noexcept {
-  if (bound == 0) return 0;
-  // Lemire's multiply-shift with rejection to remove modulo bias.
-  std::uint64_t x = (*this)();
-  __uint128_t m = static_cast<__uint128_t>(x) * bound;
-  std::uint64_t l = static_cast<std::uint64_t>(m);
-  if (l < bound) {
-    const std::uint64_t threshold = (0 - bound) % bound;
-    while (l < threshold) {
-      x = (*this)();
-      m = static_cast<__uint128_t>(x) * bound;
-      l = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
-}
-
 std::uint64_t derive_seed(std::uint64_t master_seed,
                           std::uint64_t component_index) noexcept {
   return SplitMix64::mix(master_seed ^ SplitMix64::mix(component_index + 1));

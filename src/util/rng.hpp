@@ -73,8 +73,25 @@ class Xoshiro256 {
     return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
   }
 
-  /// Uniform integer in [0, bound) using Lemire's rejection-free-ish method.
-  std::uint64_t next_below(std::uint64_t bound) noexcept;
+  /// Uniform integer in [0, bound) — Lemire's multiply-shift with rejection
+  /// to remove modulo bias.  Inline: the samplers draw one per emitted id,
+  /// and the rejection loop is cold (it triggers with probability
+  /// (2^64 mod bound) / 2^64, essentially never for small bounds).
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) [[unlikely]] {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (l < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Bernoulli trial with success probability p (clamped to [0,1]).
   bool bernoulli(double p) noexcept { return next_double() < p; }

@@ -228,6 +228,34 @@ TEST(ShardedServiceTest, ThrowingShardMatchesSerialAndOthersComplete) {
   EXPECT_EQ(serial.shard(poisoned_shard).processed(), before_poison);
 }
 
+// Pinned state checksums for the canonical serialization, captured on the
+// row-major sketch storage before the interleaved-layout rewrite
+// (sketch/layout.hpp).  The physical layout and the hashing kernel are
+// invisible to every observable — if any of these values ever moves, the
+// S x N sharded-ingest output stream is no longer the one the committed
+// bench/figure artefacts were recorded with.  Config: paper sketch shape
+// k=10, s=17, c=8, seed 123, Zipf(1.2) over 300 ids, 40000 items.
+TEST(ShardedServiceTest, StateChecksumsArePinnedAcrossLayoutChanges) {
+  const Stream input = biased_stream(300, 40000, 11);
+  const struct {
+    std::size_t shards;
+    std::uint64_t checksum;
+  } pins[] = {
+      {1, 2130211030448579346ULL},
+      {2, 8304578099753804186ULL},
+      {4, 12824188894164575063ULL},
+      {7, 12573361263187322588ULL},
+  };
+  for (const auto& pin : pins) {
+    SCOPED_TRACE(::testing::Message() << "shards=" << pin.shards);
+    auto cfg = config_for(pin.shards, 4);
+    cfg.base.sketch_depth = 17;  // the paper's s, as the benches run it
+    ShardedSamplingService service(cfg);
+    service.ingest(input);
+    EXPECT_EQ(service.state_checksum(), pin.checksum);
+  }
+}
+
 // record_output=false (the bench configuration) must not change histogram
 // accounting, serial or concurrent.
 TEST(ShardedServiceTest, UnrecordedOutputStillFeedsHistograms) {

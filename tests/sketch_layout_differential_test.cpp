@@ -1,0 +1,597 @@
+// Layout-differential harness: the contract that lets the interleaved
+// (column-major, line-padded) Count-Min storage and its SIMD hashing
+// kernels exist at all.
+//
+// Three implementations are replayed against each other over every stream
+// shape the repo's adversary layer can produce:
+//
+//   reference — an in-test reimplementation of the ROW-MAJOR sketch exactly
+//     as src/sketch/count_min.cpp stored it before the layout rewrite
+//     (`table[row * width + col]`, hashing through the public
+//     TwoUniversalFamily API), for the plain / conservative / decaying
+//     variants;
+//   scalar    — the production sketch pinned to SketchKernel::kScalar;
+//   simd      — the production sketch pinned to SketchKernel::kSimd (the
+//     best SIMD kernel compiled in; degrades to scalar where none is, so
+//     the suite is meaningful on every platform).
+//
+// Pinned per item: every fused estimate, bit for bit.  Pinned at the end
+// (and mid-stream, at query interleavings): every logical counter (row,
+// col), min_counter, total_count, and whole-domain estimate probes.  On top
+// of that the knowledge-free samplers built on the scalar and SIMD sketches
+// must emit identical streams with identical RNG consumption, and the raw
+// prehash kernels must agree index-by-index including sub-block tails.
+//
+// This extends the fused_sketch_test pattern (fused-vs-two-pass) along the
+// layout/kernel axis: there the question was "does fusing change anything",
+// here it is "does the physical layout or the instruction set".
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adversary/attacks.hpp"
+#include "core/knowledge_free_sampler.hpp"
+#include "hash/two_universal.hpp"
+#include "sketch/count_min.hpp"
+#include "sketch/decaying.hpp"
+#include "stream/generators.hpp"
+#include "util/rng.hpp"
+
+namespace unisamp {
+namespace {
+
+constexpr std::size_t kDomain = 200;
+
+Stream uniform_stream(std::size_t m, std::uint64_t seed) {
+  Stream s;
+  s.reserve(m);
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < m; ++i) s.push_back(rng.next() % kDomain);
+  return s;
+}
+
+Stream zipf_stream(std::size_t m, std::uint64_t seed) {
+  WeightedStreamGenerator gen(zipf_weights(kDomain, 1.4), seed);
+  return gen.take(m);
+}
+
+Stream targeted_stream(std::size_t m, std::uint64_t seed) {
+  const auto base = counts_from_weights(uniform_weights(kDomain), m / 2, 1);
+  return make_targeted_attack(base, 60, std::max<std::uint64_t>(m / 120, 1),
+                              seed)
+      .stream;
+}
+
+Stream flooding_stream(std::size_t m, std::uint64_t seed) {
+  const auto base = counts_from_weights(uniform_weights(kDomain), m / 2, 1);
+  return make_flooding_attack(base, 150, std::max<std::uint64_t>(m / 300, 1),
+                              seed)
+      .stream;
+}
+
+/// Sybil-with-churn: phases of fresh never-to-return identities riding on a
+/// base population.  Each phase retires its whole sybil cohort and mints the
+/// next one, so the id space keeps moving — the stream shape that stresses
+/// cold counters, eviction churn, and (for the decaying sketch) estimates
+/// straddling halvings.
+Stream sybil_churn_stream(std::size_t m, std::uint64_t seed) {
+  constexpr std::size_t kPhase = 1500;
+  constexpr std::size_t kCohort = 40;
+  Stream s;
+  s.reserve(m);
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t phase = i / kPhase;
+    if (rng.next() % 2 == 0) {
+      s.push_back(rng.next() % kDomain);  // honest base population
+    } else {
+      s.push_back(kDomain + phase * kCohort + rng.next() % kCohort);
+    }
+  }
+  return s;
+}
+
+std::vector<Stream> all_streams() {
+  return {uniform_stream(30000, 11), zipf_stream(30000, 12),
+          targeted_stream(30000, 13), flooding_stream(30000, 14),
+          sybil_churn_stream(30000, 15)};
+}
+
+/// Largest id any of the streams above can contain (probe bound).
+constexpr NodeId kProbeLimit = kDomain + (30000 / 1500 + 1) * 40;
+
+CountMinParams params_with(std::size_t width, std::size_t depth,
+                           std::uint64_t seed, SketchKernel kernel) {
+  CountMinParams p = CountMinParams::from_dimensions(width, depth, seed);
+  p.kernel = kernel;
+  return p;
+}
+
+// --- row-major reference sketches -----------------------------------------
+
+/// The pre-rewrite plain Count-Min, verbatim semantics: row-major table,
+/// TwoUniversalFamily hashing, SplitMix64 premix, global-min tracking.
+class RowMajorCountMin {
+ public:
+  explicit RowMajorCountMin(const CountMinParams& p)
+      : width_(p.width),
+        depth_(p.depth),
+        hashes_(p.depth, p.width, p.seed),
+        table_(p.width * p.depth, 0) {}
+
+  std::uint64_t update_and_estimate(std::uint64_t item,
+                                    std::uint64_t count = 1) {
+    const std::uint64_t mixed =
+        TwoUniversalFamily::reduce(SplitMix64::mix(item));
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t row = 0; row < depth_; ++row) {
+      std::uint64_t& cell =
+          table_[row * width_ + hashes_.apply_reduced(row, mixed)];
+      cell += count;
+      best = std::min(best, cell);
+    }
+    total_ += count;
+    return best;
+  }
+
+  std::uint64_t estimate(std::uint64_t item) const {
+    const std::uint64_t mixed =
+        TwoUniversalFamily::reduce(SplitMix64::mix(item));
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t row = 0; row < depth_; ++row)
+      best = std::min(best,
+                      table_[row * width_ + hashes_.apply_reduced(row, mixed)]);
+    return best;
+  }
+
+  void halve() {
+    for (auto& cell : table_) cell /= 2;
+    total_ /= 2;
+  }
+
+  std::uint64_t min_counter() const {
+    return *std::min_element(table_.begin(), table_.end());
+  }
+  std::uint64_t total_count() const { return total_; }
+  std::uint64_t counter_at(std::size_t row, std::size_t col) const {
+    return table_[row * width_ + col];
+  }
+  std::size_t width() const { return width_; }
+  std::size_t depth() const { return depth_; }
+
+ private:
+  std::size_t width_;
+  std::size_t depth_;
+  TwoUniversalFamily hashes_;
+  std::vector<std::uint64_t> table_;
+  std::uint64_t total_ = 0;
+};
+
+/// The pre-rewrite conservative-update variant: raise only the cells below
+/// the new target estimate.
+class RowMajorConservative {
+ public:
+  explicit RowMajorConservative(const CountMinParams& p)
+      : width_(p.width),
+        depth_(p.depth),
+        hashes_(p.depth, p.width, p.seed),
+        table_(p.width * p.depth, 0) {}
+
+  std::uint64_t update_and_estimate(std::uint64_t item,
+                                    std::uint64_t count = 1) {
+    const std::uint64_t mixed =
+        TwoUniversalFamily::reduce(SplitMix64::mix(item));
+    std::uint64_t est = std::numeric_limits<std::uint64_t>::max();
+    std::vector<std::size_t> cells(depth_);
+    for (std::size_t row = 0; row < depth_; ++row) {
+      cells[row] = row * width_ + hashes_.apply_reduced(row, mixed);
+      est = std::min(est, table_[cells[row]]);
+    }
+    const std::uint64_t target = est + count;
+    for (std::size_t row = 0; row < depth_; ++row)
+      table_[cells[row]] = std::max(table_[cells[row]], target);
+    total_ += count;
+    return target;
+  }
+
+  std::uint64_t estimate(std::uint64_t item) const {
+    const std::uint64_t mixed =
+        TwoUniversalFamily::reduce(SplitMix64::mix(item));
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t row = 0; row < depth_; ++row)
+      best = std::min(best,
+                      table_[row * width_ + hashes_.apply_reduced(row, mixed)]);
+    return best;
+  }
+
+  std::uint64_t min_counter() const {
+    return *std::min_element(table_.begin(), table_.end());
+  }
+  std::uint64_t total_count() const { return total_; }
+  std::uint64_t counter_at(std::size_t row, std::size_t col) const {
+    return table_[row * width_ + col];
+  }
+  std::size_t width() const { return width_; }
+  std::size_t depth() const { return depth_; }
+
+ private:
+  std::size_t width_;
+  std::size_t depth_;
+  TwoUniversalFamily hashes_;
+  std::vector<std::uint64_t> table_;
+  std::uint64_t total_ = 0;
+};
+
+/// The pre-rewrite decaying wrapper: halve every `half_life` update counts,
+/// and when the halving is triggered by the fused call, re-read the decayed
+/// estimate — exactly DecayingCountMinSketch's documented boundary rule.
+class RowMajorDecaying {
+ public:
+  RowMajorDecaying(const CountMinParams& p, std::uint64_t half_life)
+      : inner_(p), half_life_(half_life) {}
+
+  std::uint64_t update_and_estimate(std::uint64_t item,
+                                    std::uint64_t count = 1) {
+    std::uint64_t est = inner_.update_and_estimate(item, count);
+    since_ += count;
+    if (since_ >= half_life_) {
+      inner_.halve();
+      since_ = 0;
+      est = inner_.estimate(item);
+    }
+    return est;
+  }
+
+  std::uint64_t estimate(std::uint64_t item) const {
+    return inner_.estimate(item);
+  }
+  std::uint64_t min_counter() const { return inner_.min_counter(); }
+  std::uint64_t total_count() const { return inner_.total_count(); }
+  std::uint64_t counter_at(std::size_t row, std::size_t col) const {
+    return inner_.counter_at(row, col);
+  }
+  std::size_t width() const { return inner_.width(); }
+  std::size_t depth() const { return inner_.depth(); }
+
+ private:
+  RowMajorCountMin inner_;
+  std::uint64_t half_life_;
+  std::uint64_t since_ = 0;
+};
+
+// --- the differential harness ---------------------------------------------
+
+/// Full observable-state comparison: every logical counter, the tracked
+/// minimum, the processed total, and estimate probes across the whole id
+/// range any stream can contain (seen and unseen ids alike).
+template <typename Prod, typename Ref>
+void expect_state_matches(const Prod& prod, const Ref& ref,
+                          const char* label) {
+  ASSERT_EQ(prod.min_counter(), ref.min_counter()) << label;
+  ASSERT_EQ(prod.total_count(), ref.total_count()) << label;
+  for (std::size_t row = 0; row < ref.depth(); ++row)
+    for (std::size_t col = 0; col < ref.width(); ++col)
+      ASSERT_EQ(prod.counter_at(row, col), ref.counter_at(row, col))
+          << label << " counter (" << row << ", " << col << ")";
+  for (NodeId id = 0; id < kProbeLimit; ++id)
+    ASSERT_EQ(prod.estimate(id), ref.estimate(id)) << label << " probe " << id;
+}
+
+/// Replays one stream through reference / scalar / SIMD, asserting per-item
+/// estimate identity, periodic mid-stream query identity (estimates are
+/// read between updates, as the sampler and the attack detector do), and
+/// final full-state identity.
+template <typename Prod, typename Ref>
+void expect_layout_bit_identity(Prod scalar, Prod simd, Ref ref,
+                                const Stream& stream) {
+  constexpr std::size_t kQueryEvery = 997;  // prime: drifts across blocks
+  SplitMix64 probe_rng(123);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const NodeId id = stream[i];
+    const std::uint64_t expected = ref.update_and_estimate(id);
+    ASSERT_EQ(scalar.update_and_estimate(id), expected)
+        << "scalar, position " << i << ", id " << id;
+    ASSERT_EQ(simd.update_and_estimate(id), expected)
+        << "simd, position " << i << ", id " << id;
+    if (i % kQueryEvery == 0) {
+      for (int q = 0; q < 16; ++q) {
+        const NodeId probe = probe_rng.next() % kProbeLimit;
+        const std::uint64_t e = ref.estimate(probe);
+        ASSERT_EQ(scalar.estimate(probe), e) << "scalar probe @" << i;
+        ASSERT_EQ(simd.estimate(probe), e) << "simd probe @" << i;
+      }
+      ASSERT_EQ(scalar.min_counter(), ref.min_counter()) << "@" << i;
+      ASSERT_EQ(simd.min_counter(), ref.min_counter()) << "@" << i;
+    }
+  }
+  expect_state_matches(scalar, ref, "scalar");
+  expect_state_matches(simd, ref, "simd");
+}
+
+/// Shapes: the paper's k=10, s=17 (stride padded 17 -> 24, odd tail row for
+/// the unrolled consume), a line-exact depth, a depth-1 and width-1 edge,
+/// and a wider-than-domain table.
+struct Shape {
+  std::size_t width, depth;
+};
+const Shape kShapes[] = {{10, 17}, {10, 8}, {7, 1}, {1, 3}, {512, 5}};
+
+TEST(LayoutDifferentialTest, CountMinMatchesRowMajorOnAllStreams) {
+  for (const Shape& sh : kShapes) {
+    for (const Stream& s : all_streams()) {
+      expect_layout_bit_identity(
+          CountMinSketch(
+              params_with(sh.width, sh.depth, 42, SketchKernel::kScalar)),
+          CountMinSketch(
+              params_with(sh.width, sh.depth, 42, SketchKernel::kSimd)),
+          RowMajorCountMin(
+              CountMinParams::from_dimensions(sh.width, sh.depth, 42)),
+          s);
+    }
+  }
+}
+
+TEST(LayoutDifferentialTest, ConservativeMatchesRowMajorOnAllStreams) {
+  for (const Shape& sh : kShapes) {
+    for (const Stream& s : all_streams()) {
+      expect_layout_bit_identity(
+          ConservativeCountMinSketch(
+              params_with(sh.width, sh.depth, 42, SketchKernel::kScalar)),
+          ConservativeCountMinSketch(
+              params_with(sh.width, sh.depth, 42, SketchKernel::kSimd)),
+          RowMajorConservative(
+              CountMinParams::from_dimensions(sh.width, sh.depth, 42)),
+          s);
+    }
+  }
+}
+
+TEST(LayoutDifferentialTest, DecayingMatchesRowMajorAcrossDecayBoundaries) {
+  // half_life 700 over 30000-item streams: ~42 halvings per replay, with
+  // the mid-stream queries landing on both sides of the boundaries.
+  for (const Stream& s : all_streams()) {
+    expect_layout_bit_identity(
+        DecayingCountMinSketch(params_with(10, 17, 42, SketchKernel::kScalar),
+                               700),
+        DecayingCountMinSketch(params_with(10, 17, 42, SketchKernel::kSimd),
+                               700),
+        RowMajorDecaying(CountMinParams::from_dimensions(10, 17, 42), 700),
+        s);
+  }
+}
+
+TEST(LayoutDifferentialTest, VariableCountsMatchRowMajor) {
+  CountMinSketch scalar(params_with(16, 6, 9, SketchKernel::kScalar));
+  CountMinSketch simd(params_with(16, 6, 9, SketchKernel::kSimd));
+  RowMajorCountMin ref(CountMinParams::from_dimensions(16, 6, 9));
+  SplitMix64 rng(77);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t id = rng.next() % kDomain;
+    const std::uint64_t count = 1 + rng.next() % 9;
+    const std::uint64_t expected = ref.update_and_estimate(id, count);
+    ASSERT_EQ(scalar.update_and_estimate(id, count), expected);
+    ASSERT_EQ(simd.update_and_estimate(id, count), expected);
+  }
+  expect_state_matches(scalar, ref, "scalar");
+  expect_state_matches(simd, ref, "simd");
+}
+
+// --- raw kernel agreement (prehash indices, including tails) ---------------
+
+TEST(LayoutDifferentialTest, PrehashKernelsAgreeIndexByIndexWithTails) {
+  // Compare the scalar and SIMD prehash paths directly at every block
+  // length 1..kPrehashBlock, so the vector kernels' sub-W tails (which fall
+  // back to the scalar body) and every lane of the full-width path are all
+  // exercised.  Indices must also decode to in-range (row, col) pairs.
+  constexpr std::size_t kBlock = CountMinSketch::kPrehashBlock;
+  for (const Shape& sh : kShapes) {
+    CountMinSketch scalar(
+        params_with(sh.width, sh.depth, 1234, SketchKernel::kScalar));
+    CountMinSketch simd(
+        params_with(sh.width, sh.depth, 1234, SketchKernel::kSimd));
+    SplitMix64 rng(55);
+    for (std::size_t n = 1; n <= kBlock; ++n) {
+      std::uint64_t items[kBlock];
+      for (std::size_t i = 0; i < n; ++i) items[i] = rng.next();
+      std::uint32_t out_scalar[CountMinSketch::kMaxDepth * kBlock];
+      std::uint32_t out_simd[CountMinSketch::kMaxDepth * kBlock];
+      scalar.prehash_block(items, n, out_scalar);
+      simd.prehash_block(items, n, out_simd);
+      const std::size_t stride = (sh.depth + 7) / 8 * 8;
+      for (std::size_t row = 0; row < sh.depth; ++row) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::uint32_t idx = out_scalar[row * kBlock + i];
+          ASSERT_EQ(idx, out_simd[row * kBlock + i])
+              << "kernel " << simd.kernel_name() << " width " << sh.width
+              << " depth " << sh.depth << " n " << n << " row " << row
+              << " item " << i;
+          ASSERT_EQ(idx % stride, row);
+          ASSERT_LT(idx / stride, sh.width);
+        }
+      }
+    }
+  }
+}
+
+// --- sampler-level emit identity -------------------------------------------
+
+TEST(SamplerLayoutDifferentialTest, KnowledgeFreeEmitsIdenticalStreams) {
+  for (const Stream& s : all_streams()) {
+    KnowledgeFreeSampler scalar(
+        16, params_with(10, 17, 21, SketchKernel::kScalar), 31);
+    KnowledgeFreeSampler simd(16, params_with(10, 17, 21, SketchKernel::kSimd),
+                              31);
+    KnowledgeFreeSampler one_by_one(
+        16, params_with(10, 17, 21, SketchKernel::kSimd), 31);
+    Stream out_scalar, out_simd;
+    scalar.process_stream(s, out_scalar);
+    simd.process_stream(s, out_simd);
+    ASSERT_EQ(out_scalar.size(), s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      ASSERT_EQ(out_scalar[i], out_simd[i]) << "position " << i;
+      ASSERT_EQ(one_by_one.process(s[i]), out_simd[i]) << "position " << i;
+    }
+    EXPECT_EQ(scalar.memory(), simd.memory());
+    EXPECT_EQ(scalar.memory(), one_by_one.memory());
+  }
+}
+
+TEST(SamplerLayoutDifferentialTest, ConservativeEmitsIdenticalStreams) {
+  for (const Stream& s : all_streams()) {
+    ConservativeKnowledgeFreeSampler scalar(
+        16, params_with(10, 17, 21, SketchKernel::kScalar), 31);
+    ConservativeKnowledgeFreeSampler simd(
+        16, params_with(10, 17, 21, SketchKernel::kSimd), 31);
+    Stream out_scalar, out_simd;
+    scalar.process_stream(s, out_scalar);
+    simd.process_stream(s, out_simd);
+    for (std::size_t i = 0; i < s.size(); ++i)
+      ASSERT_EQ(out_scalar[i], out_simd[i]) << "position " << i;
+    EXPECT_EQ(scalar.memory(), simd.memory());
+  }
+}
+
+TEST(SamplerLayoutDifferentialTest, DecayingEmitsIdenticalStreams) {
+  for (const Stream& s : all_streams()) {
+    DecayingKnowledgeFreeSampler scalar(
+        16,
+        DecayingCountMinSketch(params_with(10, 17, 21, SketchKernel::kScalar),
+                               700),
+        31);
+    DecayingKnowledgeFreeSampler simd(
+        16,
+        DecayingCountMinSketch(params_with(10, 17, 21, SketchKernel::kSimd),
+                               700),
+        31);
+    Stream out_scalar, out_simd;
+    scalar.process_stream(s, out_scalar);
+    simd.process_stream(s, out_simd);
+    for (std::size_t i = 0; i < s.size(); ++i)
+      ASSERT_EQ(out_scalar[i], out_simd[i]) << "position " << i;
+    EXPECT_EQ(scalar.memory(), simd.memory());
+  }
+}
+
+TEST(SamplerLayoutDifferentialTest, BlockBoundariesAndTailsEmitIdentically) {
+  // Stream lengths around the kPrehashBlock boundary (and one long odd
+  // length) pin the double-buffered pipeline's tail handling: partial first
+  // block, exactly one block, one-past, and a many-block + tail run.
+  const Stream base = zipf_stream(4097, 99);
+  for (const std::size_t len :
+       {std::size_t{1}, std::size_t{7}, std::size_t{15}, std::size_t{16},
+        std::size_t{17}, std::size_t{33}, std::size_t{4097}}) {
+    const Stream s(base.begin(), base.begin() + static_cast<long>(len));
+    KnowledgeFreeSampler batch(16, params_with(10, 17, 5, SketchKernel::kSimd),
+                               8);
+    KnowledgeFreeSampler one_by_one(
+        16, params_with(10, 17, 5, SketchKernel::kSimd), 8);
+    Stream out_batch;
+    batch.process_stream(s, out_batch);
+    ASSERT_EQ(out_batch.size(), len);
+    for (std::size_t i = 0; i < len; ++i)
+      ASSERT_EQ(out_batch[i], one_by_one.process(s[i]))
+          << "len " << len << " position " << i;
+    EXPECT_EQ(batch.memory(), one_by_one.memory());
+  }
+}
+
+// --- kernel dispatch contract ----------------------------------------------
+
+TEST(KernelDispatchTest, ScalarRequestAlwaysResolvesScalar) {
+  CountMinSketch s(params_with(10, 17, 1, SketchKernel::kScalar));
+  EXPECT_EQ(s.kernel_name(), "scalar");
+}
+
+TEST(KernelDispatchTest, SimdRequestIgnoresForceScalarEnv) {
+  // The env knob pins kAuto defaults only; an explicit kSimd request must
+  // still resolve to the SIMD kernel — that is what lets this very suite
+  // compare scalar and SIMD sketches inside one UNISAMP_FORCE_SCALAR=1 CI
+  // process.
+  const std::string_view simd_default =
+      CountMinSketch(params_with(10, 17, 1, SketchKernel::kSimd))
+          .kernel_name();
+  ::setenv("UNISAMP_FORCE_SCALAR", "1", 1);
+  const std::string_view forced_auto =
+      CountMinSketch(params_with(10, 17, 1, SketchKernel::kAuto))
+          .kernel_name();
+  const std::string_view forced_simd =
+      CountMinSketch(params_with(10, 17, 1, SketchKernel::kSimd))
+          .kernel_name();
+  ::unsetenv("UNISAMP_FORCE_SCALAR");
+  EXPECT_EQ(forced_auto, "scalar");
+  EXPECT_EQ(forced_simd, simd_default);
+}
+
+// --- construction boundary contracts ----------------------------------------
+
+/// The padded-layout geometry introduces construction limits the row-major
+/// table never had: the depth cap (stack scratch of the single-item paths)
+/// and the 32-bit physical-index ceiling of the prehash buffers.  Every
+/// violation must be rejected at construction, before any allocation.
+TEST(LayoutContractTest, ZeroDimensionsThrow) {
+  CountMinParams p;  // bypasses from_dimensions validation on purpose
+  p.width = 0;
+  p.depth = 17;
+  EXPECT_THROW(CountMinSketch{p}, std::invalid_argument);
+  p.width = 10;
+  p.depth = 0;
+  EXPECT_THROW(CountMinSketch{p}, std::invalid_argument);
+  EXPECT_THROW(ConservativeCountMinSketch{p}, std::invalid_argument);
+}
+
+TEST(LayoutContractTest, DepthAboveCapThrows) {
+  // kMaxDepth = 64; depth 64 must construct, 65 must not.
+  EXPECT_NO_THROW(CountMinSketch(CountMinParams::from_dimensions(4, 64, 1)));
+  EXPECT_THROW(CountMinSketch(CountMinParams::from_dimensions(4, 65, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ConservativeCountMinSketch(CountMinParams::from_dimensions(4, 65, 1)),
+      std::invalid_argument);
+}
+
+TEST(LayoutContractTest, PaddedTableBeyond32BitIndexSpaceThrows) {
+  // depth 1 pads to stride 8, so width * 8 must stay <= 2^32: the first
+  // rejected width is 2^29 + 1.  The throw happens while building the
+  // layout, before the table would be allocated — constructing this sketch
+  // must not try to reserve 4 GiB.
+  const std::size_t limit = (std::size_t{1} << 29);
+  EXPECT_THROW(
+      CountMinSketch(CountMinParams::from_dimensions(limit + 1, 1, 1)),
+      std::invalid_argument);
+}
+
+TEST(LayoutContractTest, DecayingHalfLifeMustBePositive) {
+  const auto p = CountMinParams::from_dimensions(10, 17, 1);
+  EXPECT_THROW(DecayingCountMinSketch(p, 0), std::invalid_argument);
+}
+
+// Debug-build assertion contracts on the accessors the differential suite
+// leans on, mirroring flat_set_test: compiled out under NDEBUG like the
+// assertions themselves.
+#ifndef NDEBUG
+
+TEST(LayoutContractDeathTest, CounterAtOutOfRangeAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  CountMinSketch s(CountMinParams::from_dimensions(10, 17, 1));
+  EXPECT_DEATH((void)s.counter_at(17, 0), "row < layout_");
+  EXPECT_DEATH((void)s.counter_at(0, 10), "col < layout_");
+}
+
+TEST(LayoutContractDeathTest, OversizedPrehashBlockAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  CountMinSketch s(CountMinParams::from_dimensions(10, 17, 1));
+  std::uint64_t items[CountMinSketch::kPrehashBlock + 1] = {};
+  std::uint32_t out[CountMinSketch::kMaxDepth *
+                    (CountMinSketch::kPrehashBlock + 1)];
+  EXPECT_DEATH(s.prehash_block(items, CountMinSketch::kPrehashBlock + 1, out),
+               "kPrehashBlock");
+}
+
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace unisamp
