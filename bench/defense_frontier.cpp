@@ -1,0 +1,104 @@
+// Extra (beyond the paper's static model): the pollution-vs-detection-
+// latency frontier of the in-loop defense.  Every adaptive attack kind runs
+// over the decaying-sketch defender, once undefended (window 0) and once
+// per detector window size under RekeyPolicy::kOnDetection — smaller
+// windows close faster, alarm earlier, and trigger the coalesced sketch
+// rekey sooner, at the price of more windows to evaluate.  The frontier
+// rows show what each detection-latency budget buys in final pollution.
+#include "common.hpp"
+#include "figures.hpp"
+#include "scenario/engine.hpp"
+
+namespace unisamp::figures {
+namespace {
+
+const scenario::AttackKind kAttacks[] = {
+    scenario::AttackKind::kStaticFlood, scenario::AttackKind::kEstimateProbing,
+    scenario::AttackKind::kEclipseFlood, scenario::AttackKind::kSybilChurn,
+    scenario::AttackKind::kColluding,
+};
+
+}  // namespace
+
+FigureDef make_defense_frontier() {
+  using namespace unisamp::bench;
+
+  FigureDef def;
+  def.slug = "defense_frontier";
+  def.artefact = "Defense frontier";
+  def.title = "pollution vs detection latency: every attack kind against "
+              "the detect-and-rekey loop";
+  def.settings = "40 nodes random-regular(4), 4 byzantine, flood 30x, "
+                 "decaying sketch, window 0 = undefended";
+  def.seed = 21;
+  def.columns = {"attack",  "window",
+                 "windows", "detections",
+                 "rekeys",  "first_detection_round",
+                 "victim_output_pollution", "memory_pollution"};
+  def.compute = [](const FigureContext& ctx,
+                   FigureSeries& series) -> std::uint64_t {
+    const std::size_t quiet = ctx.pick<std::size_t>(10, 5);
+    const std::size_t attack_rounds = ctx.pick<std::size_t>(40, 15);
+    const Sweep<std::size_t> windows{{0, 64, 128, 256}, {0, 64}};
+    std::uint64_t items = 0;
+    for (std::size_t a = 0; a < std::size(kAttacks); ++a) {
+      for (const std::size_t window : windows.values(ctx.quick)) {
+        scenario::ScenarioSpec spec = bench::adaptive_base_spec(ctx.seed);
+        spec.name = "defense_frontier";
+        spec.sampler.strategy = Strategy::kDecayingSketch;
+        spec.sampler.decay_half_life = 500;
+        spec.schedule = {
+            {scenario::AttackKind::kQuiescent, quiet, 0.0, 0},
+            {kAttacks[a], attack_rounds, /*intensity=*/0.8,
+             /*rotate_every=*/5},
+        };
+        if (window > 0) {
+          scenario::DefenseSpec defense;
+          defense.detector.window = window;
+          defense.detector.peak_factor = 2.0;
+          defense.rekey = scenario::DefenseSpec::RekeyPolicy::kOnDetection;
+          defense.rekey_cooldown = 8;
+          spec.defense = defense;
+        }
+        scenario::ScenarioEngine engine(std::move(spec));
+        const auto report = engine.run();
+        const auto& last = report.points.back();
+        const double first_detection =
+            report.detection_rounds.empty()
+                ? -1.0
+                : static_cast<double>(report.detection_rounds.front());
+        series.add_row({static_cast<double>(a), static_cast<double>(window),
+                        static_cast<double>(report.detector_windows.size()),
+                        static_cast<double>(last.detections),
+                        static_cast<double>(last.rekeys), first_detection,
+                        last.victim_output_pollution, last.memory_pollution});
+        items += static_cast<std::uint64_t>(quiet + attack_rounds) * 40;
+      }
+    }
+    return items;
+  };
+  def.render = [](const FigureContext&, const FigureSeries& series) {
+    AsciiTable table;
+    table.set_header({"attack", "window", "windows", "alarms", "rekeys",
+                      "first alarm", "victim poll.", "memory poll."});
+    for (const auto& row : series.rows) {
+      const auto attack = static_cast<std::size_t>(row[0]);
+      table.add_row(
+          {std::string(to_string(kAttacks[attack])), format_double(row[1], 3),
+           format_double(row[2], 3), format_double(row[3], 3),
+           format_double(row[4], 3),
+           row[5] < 0.0 ? "-" : format_double(row[5], 3),
+           format_double(row[6], 4), format_double(row[7], 4)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf(
+        "\nwindow 0 is the undefended baseline; a smaller window alarms "
+        "earlier and\nrekeys sooner, trading evaluation work for lower final "
+        "pollution.  Victim-\nfocused attacks (eclipse, colluding) swell the "
+        "victim's input stream, so the\nsame window closes in fewer rounds "
+        "there than under a diffuse flood.\n");
+  };
+  return def;
+}
+
+}  // namespace unisamp::figures

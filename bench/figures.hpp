@@ -34,6 +34,8 @@ FigureDef make_ablation_sketch();
 FigureDef make_adaptive_probing();
 FigureDef make_attack_schedule();
 FigureDef make_baseline_comparison();
+FigureDef make_colluding_isopleth();
+FigureDef make_defense_frontier();
 FigureDef make_dragonfly_event_scale();
 FigureDef make_eclipse_flood();
 FigureDef make_event_latency_scale();
@@ -45,6 +47,7 @@ FigureDef make_micro_samplers();
 FigureDef make_network_gain();
 FigureDef make_online_diagnostics();
 FigureDef make_sybil_churn();
+FigureDef make_trace_replay_workload();
 FigureDef make_transient_mixing();
 
 }  // namespace unisamp::figures

@@ -1,0 +1,144 @@
+// Extra (beyond the paper's static model): the sampler under production-
+// shaped honest traffic while a static flood runs.  Four panels share one
+// network and attack schedule and differ only in the workload section:
+// diurnal load, a flash crowd, a drifting hot set, and a binary trace file
+// replayed through the double-buffered reader.  The cumulative trace-id
+// column exposes each shape (the diurnal wave, the flash spike); the
+// pollution columns differ across panels only through dilution — honest
+// volume shrinks the malicious share of the outputs while the underlying
+// gossip evolution stays identical (the workload-independence contract).
+#include <cstdio>
+
+#include "common.hpp"
+#include "figures.hpp"
+#include "scenario/engine.hpp"
+#include "stream/trace_io.hpp"
+
+namespace unisamp::figures {
+namespace {
+
+const char* const kPanels[] = {"diurnal", "flash-crowd", "drifting-hot-set",
+                               "trace-file"};
+
+// Workload shared shape: the per-kind knobs below modulate this volume.
+TraceReplayConfig base_workload(std::uint64_t seed) {
+  TraceReplayConfig config;
+  config.ids_per_round = 200;
+  config.domain = 512;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace
+
+FigureDef make_trace_replay_workload() {
+  using namespace unisamp::bench;
+
+  FigureDef def;
+  def.slug = "trace_replay_workload";
+  def.artefact = "Trace-replay workload";
+  def.title = "sampling under production workloads: diurnal, flash crowd, "
+              "drifting hot set, file replay";
+  def.settings = "40 nodes random-regular(4), static flood 30x, 200 honest "
+                 "ids/round over 512 keys";
+  def.seed = 29;
+  def.columns = {"panel", "round", "honest_trace_ids", "output_pollution",
+                 "memory_pollution"};
+  def.compute = [](const FigureContext& ctx,
+                   FigureSeries& series) -> std::uint64_t {
+    const std::size_t quiet = ctx.pick<std::size_t>(10, 5);
+    const std::size_t attack_rounds = ctx.pick<std::size_t>(40, 15);
+    const std::size_t total_rounds = quiet + attack_rounds;
+
+    // The trace-file panel replays a drifting-hot-set trace generated and
+    // serialized here; the name is fixed per slug (no concurrent writer)
+    // and the contents are a pure function of the seed, so reruns agree.
+    const std::string trace_path = "trace_replay_workload.tmp.trace";
+    {
+      TraceReplayConfig gen = base_workload(derive_seed(ctx.seed, 0x509));
+      gen.kind = TraceReplayConfig::Kind::kDriftingHotSet;
+      gen.drift_every = 8;
+      gen.drift_step = 13;
+      gen.id_offset = 0;  // raw keys; the replay config re-offsets them
+      TraceReplaySource source(gen);
+      Stream trace, batch;
+      for (std::size_t r = 0; r < total_rounds; ++r) {
+        source.next_round(batch);
+        trace.insert(trace.end(), batch.begin(), batch.end());
+      }
+      save_stream_binary(trace, trace_path);
+    }
+
+    std::uint64_t items = 0;
+    for (std::size_t panel = 0; panel < std::size(kPanels); ++panel) {
+      scenario::ScenarioSpec spec = bench::adaptive_base_spec(ctx.seed);
+      spec.name = "trace_replay_workload";
+      spec.measure_every = 5;
+      spec.schedule = {
+          {scenario::AttackKind::kQuiescent, quiet, 0.0, 0},
+          {scenario::AttackKind::kStaticFlood, attack_rounds, 0.0, 0},
+      };
+      TraceReplayConfig workload = base_workload(derive_seed(ctx.seed, panel));
+      switch (panel) {
+        case 0:
+          workload.kind = TraceReplayConfig::Kind::kDiurnal;
+          workload.period = 32;
+          workload.amplitude = 0.75;
+          break;
+        case 1:
+          workload.kind = TraceReplayConfig::Kind::kFlashCrowd;
+          workload.flash_start = quiet;
+          workload.flash_rounds = 10;
+          workload.flash_multiplier = 4.0;
+          workload.flash_hotset = 8;
+          workload.flash_share = 0.7;
+          break;
+        case 2:
+          workload.kind = TraceReplayConfig::Kind::kDriftingHotSet;
+          workload.drift_every = 8;
+          workload.drift_step = 13;
+          break;
+        default:
+          workload.kind = TraceReplayConfig::Kind::kTraceFile;
+          workload.path = trace_path;
+          workload.io = TraceReplayConfig::IoMode::kBuffered;
+          workload.buffer_ids = 4096;
+          break;
+      }
+      spec.workload = workload;
+      scenario::ScenarioEngine engine(std::move(spec));
+      const auto report = engine.run();
+      for (const auto& point : report.points)
+        series.add_row({static_cast<double>(panel),
+                        static_cast<double>(point.round),
+                        static_cast<double>(point.honest_trace_ids),
+                        point.output_pollution, point.memory_pollution});
+      items += static_cast<std::uint64_t>(total_rounds) * 40 +
+               report.trace_ids_delivered;
+    }
+    std::remove(trace_path.c_str());
+    return items;
+  };
+  def.render = [](const FigureContext&, const FigureSeries& series) {
+    AsciiTable table;
+    table.set_header({"panel", "round", "trace ids", "output poll.",
+                      "memory poll."});
+    for (const auto& row : series.rows) {
+      const auto panel = static_cast<std::size_t>(row[0]);
+      table.add_row({panel < 4 ? kPanels[panel] : "?",
+                     format_double(row[1], 3), format_double(row[2], 3),
+                     format_double(row[3], 4), format_double(row[4], 4)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf(
+        "\nhonest trace ids are cumulative — the per-row increment shows the "
+        "shape\n(the diurnal wave, the flash spike at the flood's onset).  "
+        "The feed bypasses\nthe gossip exchange, so deliveries and adversary "
+        "draws are identical across\npanels (differential-tested); pollution "
+        "differs only because honest volume\ndilutes the malicious share of "
+        "the outputs.\n");
+  };
+  return def;
+}
+
+}  // namespace unisamp::figures

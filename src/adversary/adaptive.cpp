@@ -196,4 +196,45 @@ void SybilChurnAdversary::push_ids(std::size_t, std::size_t, Xoshiro256& rng,
     out.push_back(pool[rng.next_below(pool.size())]);
 }
 
+ColludingAdversary::ColludingAdversary(std::vector<NodeId> pool,
+                                       ColludingConfig config)
+    : eclipse_(pool, config.eclipse), churn_(config.churn) {
+  all_ids_ = std::move(pool);
+  absorb_churn_ids();
+}
+
+void ColludingAdversary::absorb_churn_ids() {
+  // The churn leg's bill is append-only, so the union only ever grows by
+  // its tail; the eclipse pool is fixed and already in front.
+  const auto churned = churn_.malicious_ids();
+  all_ids_.insert(all_ids_.end(), churned.begin() + churn_absorbed_,
+                  churned.end());
+  churn_absorbed_ = churned.size();
+}
+
+void ColludingAdversary::begin_round(const GossipNetwork& net) {
+  eclipse_.begin_round(net);
+  churn_.begin_round(net);
+  absorb_churn_ids();
+}
+
+void ColludingAdversary::begin_tick(const GossipNetwork& net,
+                                    std::uint64_t tick) {
+  eclipse_.begin_tick(net, tick);
+  churn_.begin_tick(net, tick);
+  absorb_churn_ids();
+}
+
+void ColludingAdversary::push_ids(std::size_t from, std::size_t to,
+                                  Xoshiro256& rng, std::vector<NodeId>& out) {
+  // Index parity splits the byzantine population between the legs: even
+  // senders eclipse, odd senders churn.  Each leg sees only its own
+  // senders, so its per-sender budget accounting is untouched by the
+  // composition.
+  if (from % 2 == 0)
+    eclipse_.push_ids(from, to, rng, out);
+  else
+    churn_.push_ids(from, to, rng, out);
+}
+
 }  // namespace unisamp

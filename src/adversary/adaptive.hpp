@@ -214,4 +214,43 @@ class SybilChurnAdversary final : public RoundAdversary {
   std::size_t rounds_seen_ = 0;
 };
 
+/// Colluding campaign: eclipse flood and Sybil identity churn run
+/// SIMULTANEOUSLY.  The byzantine population splits by index parity — even
+/// members run the eclipse leg (static pool, budget concentrated on the
+/// victim's neighbourhood), odd members run the churn leg (fresh identities
+/// on a rotation schedule) — so the victim faces targeted saturation while
+/// the population-wide sketches keep absorbing zero-counter ids.  Both legs
+/// draw from the one network RNG in sender order, so the composition is as
+/// deterministic as its parts; malicious_ids() is the union of both legs'
+/// bills (the eclipse pool plus every identity the churn leg ever minted).
+struct ColludingConfig {
+  EclipseConfig eclipse;
+  SybilChurnConfig churn;
+};
+
+class ColludingAdversary final : public RoundAdversary {
+ public:
+  /// `pool` is the eclipse leg's static forged pool; the churn leg mints
+  /// its own above it (SybilChurnConfig::first_forged_id).
+  ColludingAdversary(std::vector<NodeId> pool, ColludingConfig config);
+
+  void begin_round(const GossipNetwork& net) override;
+  void begin_tick(const GossipNetwork& net, std::uint64_t tick) override;
+  void push_ids(std::size_t from, std::size_t to, Xoshiro256& rng,
+                std::vector<NodeId>& out) override;
+  std::span<const NodeId> malicious_ids() const override { return all_ids_; }
+
+  /// The component strategies (exposed for tests).
+  const EclipseFloodAdversary& eclipse() const { return eclipse_; }
+  const SybilChurnAdversary& churn() const { return churn_; }
+
+ private:
+  void absorb_churn_ids();
+
+  EclipseFloodAdversary eclipse_;
+  SybilChurnAdversary churn_;
+  std::vector<NodeId> all_ids_;     // eclipse pool + churn mints, in order
+  std::size_t churn_absorbed_ = 0;  // churn ids already copied into all_ids_
+};
+
 }  // namespace unisamp

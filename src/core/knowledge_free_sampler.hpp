@@ -110,6 +110,16 @@ class BasicKnowledgeFreeSampler final : public NodeSampler {
   std::size_t capacity() const override { return c_; }
   std::string_view name() const override { return "knowledge-free"; }
 
+  /// Sketch key rotation (see NodeSampler::rekey).  Dimensions are kept;
+  /// only the hash coefficients and counters change, so in-flight prehash
+  /// pipelines must not span a rekey (the engine re-keys only between
+  /// rounds, never inside a batch).
+  bool rekey(std::uint64_t seed) override {
+    sketch_.rekey(CountMinParams::from_dimensions(sketch_.width(),
+                                                  sketch_.depth(), seed));
+    return true;
+  }
+
   const Sketch& sketch() const { return sketch_; }
 
   /// Current insertion probability the sampler would use for `id` if it

@@ -37,6 +37,19 @@ class NodeSampler {
 
   virtual std::string_view name() const = 0;
 
+  /// Rotates the strategy's frequency-oracle key: fresh hash coefficients
+  /// seeded from `seed`, counters zeroed, with the sampling memory Gamma
+  /// and the sampler's own RNG untouched.  The online defense lever
+  /// (scenario DefenseSpec) — an adversary's learned collision structure
+  /// dies with the old key, at the cost of the oracle relearning the
+  /// stream (min_sigma drops to 0, freezing admissions until the fresh
+  /// sketch fills).  Returns false when the strategy has no keyed oracle to
+  /// rotate (omniscient, baselines) — the default.
+  virtual bool rekey(std::uint64_t seed) {
+    (void)seed;
+    return false;
+  }
+
   /// Batched equivalent of calling process() once per id, appending each
   /// emitted id to `output`.  Bit-identical to the per-item loop (same ids,
   /// same RNG consumption) — overrides exist purely to hoist per-item

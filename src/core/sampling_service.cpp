@@ -13,6 +13,8 @@ std::string_view to_string(Strategy s) {
       return "knowledge-free";
     case Strategy::kConservativeSketch:
       return "knowledge-free/conservative";
+    case Strategy::kDecayingSketch:
+      return "knowledge-free/decaying";
   }
   return "unknown";
 }
@@ -36,6 +38,17 @@ std::unique_ptr<NodeSampler> make_sampler(const ServiceConfig& config) {
           config.memory_size,
           CountMinParams::from_dimensions(config.sketch_width,
                                           config.sketch_depth, config.seed),
+          derive_seed(config.seed, 0x5A));
+    case Strategy::kDecayingSketch:
+      if (config.decay_half_life == 0)
+        throw std::invalid_argument(
+            "decaying strategy needs decay_half_life > 0");
+      return std::make_unique<DecayingKnowledgeFreeSampler>(
+          config.memory_size,
+          DecayingCountMinSketch(
+              CountMinParams::from_dimensions(
+                  config.sketch_width, config.sketch_depth, config.seed),
+              config.decay_half_life),
           derive_seed(config.seed, 0x5A));
   }
   throw std::invalid_argument("unknown strategy");

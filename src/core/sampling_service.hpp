@@ -22,9 +22,12 @@ namespace unisamp {
 
 /// Which strategy the service runs.
 enum class Strategy {
-  kOmniscient,        ///< Algorithm 1 (requires known probabilities)
-  kKnowledgeFree,     ///< Algorithm 3 (Count-Min based)
-  kConservativeSketch ///< Algorithm 3 with conservative-update sketch
+  kOmniscient,         ///< Algorithm 1 (requires known probabilities)
+  kKnowledgeFree,      ///< Algorithm 3 (Count-Min based)
+  kConservativeSketch, ///< Algorithm 3 with conservative-update sketch
+  kDecayingSketch      ///< Algorithm 3 over the exponentially decaying
+                       ///< sketch (sketch/decaying.hpp) — the adaptive
+                       ///< defender whose oracle tracks the recent stream
 };
 
 std::string_view to_string(Strategy s);
@@ -36,6 +39,10 @@ struct ServiceConfig {
   std::size_t sketch_width = 10; ///< k (knowledge-free only)
   std::size_t sketch_depth = 5;  ///< s (knowledge-free only)
   std::uint64_t seed = 1;
+  /// Decaying sketch only: updates after which past counter mass weighs
+  /// half (DecayingCountMinSketch).  Must be > 0 when the strategy is
+  /// kDecayingSketch; ignored otherwise.
+  std::uint64_t decay_half_life = 0;
   /// Omniscient only: p_j for ids [0, n).
   std::vector<double> known_probabilities;
   /// Record the full output stream (disable for long-running simulations
@@ -75,6 +82,13 @@ class SamplingService {
 
   /// S_i(t).  nullopt before the first id arrives.
   std::optional<NodeId> sample();
+
+  /// Rotates the strategy's oracle key (NodeSampler::rekey): fresh sketch
+  /// coefficients seeded from `seed`, counters zeroed, Gamma and the
+  /// recorded output untouched.  False when the strategy has no keyed
+  /// oracle (omniscient).  The scenario engine's detection-triggered
+  /// defense calls this between rounds.
+  bool rekey_sampler(std::uint64_t seed) { return sampler_->rekey(seed); }
 
   const Stream& output_stream() const { return output_; }
   const FrequencyHistogram& output_histogram() const { return histogram_; }

@@ -10,6 +10,11 @@ namespace unisamp::scenario {
 namespace {
 ScenarioSpec validated(ScenarioSpec spec) {
   validate(spec);
+  // The defense leg reads the victim's recorded input stream, so force the
+  // recording on.  Recording is passive (no RNG, no knowledge-cache or
+  // delivery effect), which is what the DefenseSpec neutrality contract
+  // rests on: presence of the section alone changes nothing downstream.
+  if (spec.defense) spec.gossip.record_inputs = true;
   return spec;
 }
 
@@ -116,6 +121,26 @@ std::unique_ptr<RoundAdversary> ScenarioEngine::make_adversary(
           static_cast<NodeId>(cfg.pool_size * (1 + rotations));
       return std::make_unique<SybilChurnAdversary>(cfg);
     }
+    case AttackKind::kColluding: {
+      // Both legs at once: the eclipse leg reuses the static pool; the
+      // churn leg mints above next_sybil_base_ under the same reservation
+      // discipline as a plain kSybilChurn phase.
+      ColludingConfig cfg;
+      cfg.eclipse = EclipseConfig{spec_.victim, spec_.gossip.flood_factor,
+                                  phase.intensity};
+      cfg.churn.pool_size =
+          std::max<std::size_t>(spec_.gossip.forged_id_count, 1);
+      cfg.churn.rotate_every = phase.rotate_every;
+      cfg.churn.flood_factor = spec_.gossip.flood_factor;
+      cfg.churn.first_forged_id = next_sybil_base_;
+      const std::size_t rotations =
+          phase.rotate_every > 0 && phase.rounds > 0
+              ? (phase.rounds - 1) / phase.rotate_every
+              : 0;
+      next_sybil_base_ +=
+          static_cast<NodeId>(cfg.churn.pool_size * (1 + rotations));
+      return std::make_unique<ColludingAdversary>(pool, cfg);
+    }
   }
   throw std::invalid_argument("unknown attack kind");
 }
@@ -167,6 +192,21 @@ ScenarioRunReport ScenarioEngine::run() {
     // (the schedule models the POST-stabilisation attack campaign).
     report.churn_events = run_churn_phase(driver, *spec_.churn);
   }
+  // Defense-loop state.  The detector's coins are its own (config.seed),
+  // never the network's, so a detector that observes but never triggers a
+  // rekey leaves the run bit-identical.
+  std::optional<AttackDetector> detector;
+  if (spec_.defense) detector.emplace(spec_.defense->detector);
+  std::size_t victim_fed = 0;       // victim input-stream prefix observed
+  std::size_t alarmed_windows = 0;  // closed windows with a non-kNone signal
+  std::size_t last_rekey_round = 0;
+  bool any_rekey = false;
+  // Workload state: one honest-traffic batch per round, dealt round-robin.
+  std::optional<TraceReplaySource> workload;
+  if (spec_.workload) workload.emplace(*spec_.workload);
+  std::uint64_t trace_ids = 0;
+  Stream batch, node_share, victim_share;
+  std::vector<std::size_t> feed_targets;
   std::size_t round = 0;  // post-T0 round counter (churn rounds excluded)
   for (std::size_t p = 0; p < spec_.schedule.size(); ++p) {
     const AttackPhase& phase = spec_.schedule[p];
@@ -177,13 +217,87 @@ ScenarioRunReport ScenarioEngine::run() {
       driver.run_ticks(1);
       note_malicious(adversary->malicious_ids());
       ++round;
+      // Honest workload: deal this round's batch round-robin across the
+      // instrumented active correct nodes (per-node contiguous slices
+      // through the batched ingest path).  Only per-node sampler state is
+      // touched — no network RNG, knowledge cache, or delivery counter —
+      // so the gossip evolution is unchanged by the feed.
+      victim_share.clear();
+      if (workload) {
+        batch.clear();
+        workload->next_round(batch);
+        feed_targets.clear();
+        for (std::size_t i = spec_.gossip.byzantine_count; i < net_.size();
+             ++i)
+          if (net_.has_service(i) && net_.is_active(i))
+            feed_targets.push_back(i);
+        if (!batch.empty() && !feed_targets.empty()) {
+          for (std::size_t t = 0; t < feed_targets.size(); ++t) {
+            node_share.clear();
+            for (std::size_t j = t; j < batch.size();
+                 j += feed_targets.size())
+              node_share.push_back(batch[j]);
+            if (node_share.empty()) continue;
+            net_.service(feed_targets[t]).on_receive_stream(node_share);
+            trace_ids += node_share.size();
+            if (feed_targets[t] == spec_.victim)
+              victim_share = node_share;  // the detector sees it below
+          }
+        }
+      }
+      // Detection: run the victim's traffic since the last round — its
+      // recorded gossip input suffix, then its workload share — through
+      // the tumbling-window detector.
+      bool alarmed = false;
+      if (detector) {
+        const auto feed = [&](const NodeId id) {
+          if (const auto window = detector->observe(id)) {
+            report.detector_windows.push_back(*window);
+            if (window->signal != AttackSignal::kNone) {
+              ++alarmed_windows;
+              alarmed = true;
+            }
+          }
+        };
+        const Stream& victim_in = net_.input_stream(spec_.victim);
+        for (; victim_fed < victim_in.size(); ++victim_fed)
+          feed(victim_in[victim_fed]);
+        for (const NodeId id : victim_share) feed(id);
+        if (alarmed) report.detection_rounds.push_back(round);
+      }
+      // Response: ONE coalesced rekey per alarmed round (however many
+      // windows closed), gated by the cooldown and the rekey budget.
+      // Every instrumented sampler rotates to a fresh derived seed, so
+      // the whole population forgets the attacker's accumulated counters
+      // at once instead of leaking through un-rekeyed neighbours.
+      if (alarmed && spec_.defense->rekey == DefenseSpec::RekeyPolicy::kOnDetection &&
+          (!any_rekey ||
+           round > last_rekey_round + spec_.defense->rekey_cooldown) &&
+          (spec_.defense->max_rekeys == 0 ||
+           report.rekey_rounds.size() < spec_.defense->max_rekeys)) {
+        const std::uint64_t rekey_seed = derive_seed(
+            spec_.gossip.seed, 0xDEF0 + report.rekey_rounds.size());
+        for (std::size_t i = spec_.gossip.byzantine_count; i < net_.size();
+             ++i)
+          if (net_.has_service(i))
+            net_.service(i).rekey_sampler(derive_seed(rekey_seed, i));
+        last_rekey_round = round;
+        any_rekey = true;
+        report.rekey_rounds.push_back(round);
+      }
       const bool phase_end = r + 1 == phase.rounds;
       const bool cadence_hit =
           spec_.measure_every > 0 && round % spec_.measure_every == 0;
-      if (phase_end || cadence_hit)
-        report.points.push_back(measure(round, p));
+      if (phase_end || cadence_hit) {
+        MeasurePoint point = measure(round, p);
+        point.detections = alarmed_windows;
+        point.rekeys = report.rekey_rounds.size();
+        point.honest_trace_ids = trace_ids;
+        report.points.push_back(point);
+      }
     }
   }
+  report.trace_ids_delivered = trace_ids;
   report.delivered = net_.delivered();
   report.dropped_overflow = driver.stats().dropped_overflow;
   report.dropped_inactive = driver.stats().dropped_inactive;

@@ -7,7 +7,22 @@
 // installing the right RoundAdversary (adversary/adaptive.hpp) for each
 // phase and recording a deterministic metrics row at every measure point.
 // In event mode the driver persists across phases, so ids still in flight
-// when a phase ends arrive during the next one.  A
+// when a phase ends arrive during the next one.
+//
+// Two optional legs close the loop around the sampler:
+//  * defense (spec.defense): after every round the victim's input-stream
+//    suffix runs through an AttackDetector; under RekeyPolicy::kOnDetection
+//    an alarmed window triggers ONE coalesced rekey of every instrumented
+//    sampler (fresh derived seeds), subject to cooldown and budget.  With
+//    the policy at kNone — or thresholds no window crosses — the network
+//    evolution is bit-identical to a spec without the section.
+//  * workload (spec.workload): every round a TraceReplaySource batch is
+//    dealt round-robin across instrumented active correct nodes and
+//    ingested through on_receive_stream, on top of the gossip exchange.
+//    The feed touches no network RNG or knowledge cache, so the gossip
+//    evolution (deliveries, sends, adversary draws) is unchanged by it.
+//
+// A
 // scenario is simultaneously a workload (rounds through the batched gossip
 // hot path), a reproducible figure (rows are checksummable — the bench/
 // adaptive artefacts are thin wrappers over this class) and a regression
@@ -46,6 +61,12 @@ struct MeasurePoint {
   double memory_pollution = 0.0;
   /// Distinct malicious identifiers used so far — the Sybil bill.
   double distinct_malicious = 0.0;
+  /// Defense accounting (0 without a defense section): detector windows
+  /// that alarmed, and sampler rekeys fired, up to this row (cumulative).
+  std::size_t detections = 0;
+  std::size_t rekeys = 0;
+  /// Honest workload ids delivered so far (0 without a workload section).
+  std::uint64_t honest_trace_ids = 0;
 };
 
 struct ScenarioRunReport {
@@ -57,6 +78,12 @@ struct ScenarioRunReport {
   std::uint64_t dropped_inactive = 0;   ///< ids addressed to churned-out nodes
   std::uint64_t peak_inbox_backlog = 0; ///< deepest pending inbox seen
   std::uint64_t in_flight_at_end = 0;   ///< ids still in transit at the end
+  /// Defense accounting (empty/0 without a defense section).
+  std::vector<std::size_t> detection_rounds;  ///< rounds with >= 1 alarm
+  std::vector<std::size_t> rekey_rounds;      ///< rounds a rekey fired
+  std::vector<WindowReport> detector_windows; ///< every closed window
+  /// Honest workload ids delivered (0 without a workload section).
+  std::uint64_t trace_ids_delivered = 0;
 };
 
 class ScenarioEngine {

@@ -181,6 +181,18 @@ std::string_view to_string(AttackKind kind) {
       return "eclipse-flood";
     case AttackKind::kSybilChurn:
       return "sybil-churn";
+    case AttackKind::kColluding:
+      return "colluding";
+  }
+  return "?";
+}
+
+std::string_view to_string(DefenseSpec::RekeyPolicy policy) {
+  switch (policy) {
+    case DefenseSpec::RekeyPolicy::kNone:
+      return "none";
+    case DefenseSpec::RekeyPolicy::kOnDetection:
+      return "on-detection";
   }
   return "?";
 }
@@ -351,6 +363,40 @@ void validate(const ScenarioSpec& spec) {
             ": timing.far_* knobs require timing.latency = bimodal");
     }
   }
+  if (spec.defense) {
+    const DefenseSpec& defense = *spec.defense;
+    if (defense.detector.window == 0)
+      throw std::invalid_argument(spec.name +
+                                  ": defense.detector.window must be >= 1");
+    if (defense.detector.heavy_capacity == 0)
+      throw std::invalid_argument(
+          spec.name + ": defense.detector.heavy_capacity must be >= 1");
+    // !(x > 0) also rejects NaN; isinf rejects the other non-threshold.
+    if (!(defense.detector.peak_factor > 0.0) ||
+        std::isinf(defense.detector.peak_factor))
+      throw std::invalid_argument(
+          spec.name + ": defense.detector.peak_factor must be finite and > 0");
+    if (!(defense.detector.flood_factor > 0.0) ||
+        std::isinf(defense.detector.flood_factor))
+      throw std::invalid_argument(
+          spec.name +
+          ": defense.detector.flood_factor must be finite and > 0");
+    // Rekey knobs on a detect-only policy are a latent mistake, not a
+    // silent no-op (same rule as event-only knobs on a rounds timing).
+    if (defense.rekey == DefenseSpec::RekeyPolicy::kNone &&
+        (defense.rekey_cooldown != 0 || defense.max_rekeys != 0))
+      throw std::invalid_argument(
+          spec.name +
+          ": defense.rekey is none but rekey_cooldown/max_rekeys are set");
+  }
+  if (spec.workload) {
+    unisamp::validate(*spec.workload);  // per-kind invariants (trace_replay.hpp)
+    if (spec.workload->id_offset < kHonestTraceIdBase)
+      throw std::invalid_argument(
+          spec.name +
+          ": workload.id_offset below kHonestTraceIdBase (honest trace ids "
+          "must never collide with node ids or forged/minted pools)");
+  }
   if (spec.schedule.empty())
     throw std::invalid_argument(spec.name + ": empty attack schedule");
   for (const AttackPhase& phase : spec.schedule) {
@@ -362,12 +408,20 @@ void validate(const ScenarioSpec& spec) {
                                   ": phase intensity outside [0, 1]");
     const bool needs_pool = phase.kind == AttackKind::kStaticFlood ||
                             phase.kind == AttackKind::kEstimateProbing ||
-                            phase.kind == AttackKind::kEclipseFlood;
+                            phase.kind == AttackKind::kEclipseFlood ||
+                            phase.kind == AttackKind::kColluding;
     if (needs_pool && spec.gossip.byzantine_count > 0 &&
         spec.gossip.forged_id_count == 0)
       throw std::invalid_argument(
           spec.name + ": flooding phases need a forged id pool "
                       "(gossip.forged_id_count > 0)");
+    if (phase.kind == AttackKind::kColluding &&
+        spec.gossip.byzantine_count == 1)
+      throw std::invalid_argument(
+          spec.name +
+          ": a colluding phase splits the byzantine population by parity "
+          "and needs byzantine_count >= 2 (one lone member would leave a "
+          "leg empty)");
   }
 }
 

@@ -20,11 +20,13 @@
 #include <string_view>
 #include <vector>
 
+#include "core/attack_detector.hpp"
 #include "core/sampling_service.hpp"
 #include "sim/churn.hpp"
 #include "sim/driver.hpp"
 #include "sim/gossip.hpp"
 #include "sim/topology.hpp"
+#include "stream/trace_replay.hpp"
 
 namespace unisamp::scenario {
 
@@ -105,6 +107,7 @@ enum class AttackKind {
   kEstimateProbing,  ///< flood focused on the victim's under-counted ids
   kEclipseFlood,     ///< flood concentrated on the victim's neighbourhood
   kSybilChurn,       ///< forged pool re-minted on a rotation schedule
+  kColluding,        ///< eclipse + Sybil churn running simultaneously
 };
 
 std::string_view to_string(AttackKind kind);
@@ -153,6 +156,42 @@ struct TimingSpec {
 
 std::string_view to_string(TimingSpec::Kind kind);
 
+/// Optional in-loop defense section: the engine feeds the victim's input
+/// stream through an AttackDetector as rounds run and — under
+/// RekeyPolicy::kOnDetection — responds to an alarmed window by rotating
+/// every instrumented sampler's sketch coefficients (NodeSampler::rekey)
+/// with fresh derived seeds.  Rekeying zeroes the sketch counters, so the
+/// forged pool's accumulated frequency estimates are forgotten and the
+/// attacker is thrown back to the cold-sketch regime it already paid to
+/// escape; honest heavy hitters re-establish themselves from live traffic.
+///
+/// Neutrality contract: a spec with `defense` present but rekey = kNone
+/// (detector-only), or with thresholds no window can cross, runs the
+/// network BIT-IDENTICALLY to the same spec without a defense section —
+/// the detector reads only recorded input streams (no service or network
+/// RNG), and a rekey that never fires perturbs nothing.  The engine's
+/// differential tests pin this down.
+struct DefenseSpec {
+  enum class RekeyPolicy {
+    kNone,         ///< detect and report only; never touch the samplers
+    kOnDetection,  ///< rekey all instrumented samplers when a window alarms
+  };
+
+  /// Tumbling-window detector over the victim's input stream.  Note the
+  /// window is in IDS, not rounds: with flood_factor f, degree d ids reach
+  /// the victim per round, so a window of w ids closes every ~w/(f*d)
+  /// rounds — size it to the detection latency the scenario wants.
+  DetectorConfig detector;
+  RekeyPolicy rekey = RekeyPolicy::kNone;
+  /// kOnDetection: rounds that must pass after a rekey before the next one
+  /// may fire (0 = every alarmed round may rekey) and a cap on total
+  /// rekeys across the run (0 = unlimited).  Must both be 0 under kNone.
+  std::size_t rekey_cooldown = 0;
+  std::size_t max_rekeys = 0;
+};
+
+std::string_view to_string(DefenseSpec::RekeyPolicy policy);
+
 /// The full declarative scenario.
 struct ScenarioSpec {
   std::string name = "scenario";
@@ -169,6 +208,17 @@ struct ScenarioSpec {
   std::optional<ChurnConfig> churn;
   /// Optional timing semantics; absent = degenerate rounds config.
   std::optional<TimingSpec> timing;
+  /// Optional in-loop defense (detector + rekey policy); absent = the
+  /// historical run-blind engine.  Presence forces gossip.record_inputs
+  /// (the detector reads the victim's recorded input stream), which has no
+  /// RNG effect — see the DefenseSpec neutrality contract.
+  std::optional<DefenseSpec> defense;
+  /// Optional honest-traffic workload: each round, one TraceReplaySource
+  /// batch is dealt round-robin across the instrumented correct nodes, on
+  /// top of (and independent from) the gossip exchange.  Ids must sit
+  /// above kHonestTraceIdBase so they never collide with node ids or any
+  /// forged/minted pool.
+  std::optional<TraceReplayConfig> workload;
   /// The correct node the probing/eclipse strategies aim at and the
   /// per-victim metrics track.
   std::size_t victim = 0;
@@ -181,9 +231,10 @@ struct ScenarioSpec {
 /// Validates the cross-field invariants (victim correct, in range, and
 /// instrumented under observer_stride; schedule non-empty with positive
 /// rounds; adaptive phases backed by a forged pool; intensities in [0, 1];
-/// timing section internally consistent; per-family topology parameters
-/// well-formed and consistent with `nodes`; non-default placement only on
-/// structured topologies).  Throws std::invalid_argument.  Weak
+/// timing, defense, and workload sections internally consistent —
+/// including workload.id_offset >= kHonestTraceIdBase; per-family topology
+/// parameters well-formed and consistent with `nodes`; non-default
+/// placement only on structured topologies).  Throws std::invalid_argument.  Weak
 /// connectivity among correct nodes at T0 — the paper's standing
 /// assumption, which erdos_renyi in particular does NOT guarantee — is
 /// seed-dependent and therefore checked when the engine builds the world,

@@ -147,6 +147,12 @@ void CountMinSketch::halve() {
   recompute_min();
 }
 
+void CountMinSketch::rekey(const CountMinParams& params) {
+  if (params.width != layout_.width || params.depth != layout_.depth)
+    throw std::invalid_argument("rekey must preserve the sketch dimensions");
+  *this = CountMinSketch(params);
+}
+
 void CountMinSketch::recompute_min() {
   // Logical cells only: the padding rows of each column stay zero forever
   // and must not masquerade as the matrix minimum.
@@ -247,6 +253,12 @@ std::uint64_t ConservativeCountMinSketch::estimate(std::uint64_t item) const {
 std::uint64_t ConservativeCountMinSketch::update_and_estimate_prehashed(
     const std::uint32_t* pre, std::size_t i, std::uint64_t count) {
   return raise_cells(pre + i, kPrehashBlock, count);
+}
+
+void ConservativeCountMinSketch::rekey(const CountMinParams& params) {
+  if (params.width != layout_.width || params.depth != layout_.depth)
+    throw std::invalid_argument("rekey must preserve the sketch dimensions");
+  *this = ConservativeCountMinSketch(params);
 }
 
 void ConservativeCountMinSketch::recompute_min() {

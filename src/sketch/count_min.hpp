@@ -207,6 +207,14 @@ class CountMinSketch {
   /// the exponentially decaying variant (sketch/decaying.hpp).
   void halve();
 
+  /// Rebuilds the sketch from `params`: fresh hash coefficients, every
+  /// counter zeroed.  The online re-keying lever (scenario DefenseSpec):
+  /// whatever collision structure an adversary learned against the old
+  /// coefficients dies with them.  Dimensions must be unchanged — re-keying
+  /// is a key rotation, not a re-dimensioning — so callers can keep
+  /// prehash buffer sizing; throws std::invalid_argument otherwise.
+  void rekey(const CountMinParams& params);
+
   /// Direct row access for white-box tests.
   std::uint64_t counter_at(std::size_t row, std::size_t col) const {
     assert(row < layout_.depth && col < layout_.width);
@@ -308,6 +316,9 @@ class ConservativeCountMinSketch {
   std::uint64_t total_count() const { return total_; }
   std::size_t width() const { return layout_.width; }
   std::size_t depth() const { return layout_.depth; }
+
+  /// Key rotation; same contract as CountMinSketch::rekey.
+  void rekey(const CountMinParams& params);
 
   std::string_view kernel_name() const {
     return sketch_detail::kernel_name(resolved_);

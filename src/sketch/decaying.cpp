@@ -52,6 +52,11 @@ std::uint64_t DecayingCountMinSketch::min_counter() const {
   return inner_.min_counter();
 }
 
+void DecayingCountMinSketch::rekey(const CountMinParams& params) {
+  inner_.rekey(params);
+  since_decay_ = 0;
+}
+
 void DecayingCountMinSketch::decay() {
   inner_.halve();
   since_decay_ = 0;

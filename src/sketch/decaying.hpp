@@ -56,6 +56,11 @@ class DecayingCountMinSketch {
     return inner_.estimate_prehashed(pre, i);
   }
   std::uint64_t min_counter() const;
+  /// Key rotation (see CountMinSketch::rekey): the inner sketch is rebuilt
+  /// with fresh coefficients and zeroed counters; the half-life is kept and
+  /// the decay phase restarts (a fresh sketch has nothing to decay).
+  /// decay_count() keeps its cumulative history.
+  void rekey(const CountMinParams& params);
   std::uint64_t total_count() const { return inner_.total_count(); }
   std::size_t width() const { return inner_.width(); }
   std::size_t depth() const { return inner_.depth(); }

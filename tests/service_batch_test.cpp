@@ -35,6 +35,8 @@ ServiceConfig config_for(Strategy strategy, std::size_t n, bool record) {
   config.record_output = record;
   if (strategy == Strategy::kOmniscient)
     config.known_probabilities = zipf_weights(n, 1.5);
+  if (strategy == Strategy::kDecayingSketch)
+    config.decay_half_life = 500;  // several decays inside the test streams
   return config;
 }
 
@@ -85,7 +87,8 @@ TEST_P(ServiceBatchTest, UnrecordedOutputStillFeedsHistogram) {
 INSTANTIATE_TEST_SUITE_P(AllStrategies, ServiceBatchTest,
                          ::testing::Values(Strategy::kOmniscient,
                                            Strategy::kKnowledgeFree,
-                                           Strategy::kConservativeSketch),
+                                           Strategy::kConservativeSketch,
+                                           Strategy::kDecayingSketch),
                          [](const auto& info) {
                            switch (info.param) {
                              case Strategy::kOmniscient: return "Omniscient";
@@ -93,6 +96,8 @@ INSTANTIATE_TEST_SUITE_P(AllStrategies, ServiceBatchTest,
                                return "KnowledgeFree";
                              case Strategy::kConservativeSketch:
                                return "Conservative";
+                             case Strategy::kDecayingSketch:
+                               return "Decaying";
                            }
                            return "Unknown";
                          });

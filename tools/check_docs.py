@@ -13,12 +13,16 @@ and locally (ctest entry `docs_check`):
    docs/architecture.md as `src/<name>/`; a new subsystem must be placed in
    the layer map before it ships.
 3. README linkage — README.md must link docs/architecture.md,
-   docs/benchmarking.md and docs/figures.md (the docs are only
-   discoverable if the front page points at them).
+   docs/benchmarking.md, docs/figures.md and docs/defenses.md (the docs
+   are only discoverable if the front page points at them).
 4. Figure-catalogue drift — every figure/table bench binary (one per
    bench/<name>.cpp, minus the shared figure_main.cpp) must be documented
    in docs/figures.md by name; a new paper artefact must be catalogued
    before it ships, exactly like a new src/ subsystem.
+5. Defense-playbook drift — every scenario::AttackKind slug (parsed from
+   the to_string switch in src/scenario/spec.cpp) must appear in
+   docs/defenses.md; a new attack kind must get a playbook row before it
+   ships.
 
 Exit status: 0 = clean, 1 = drift found, 2 = bad invocation/missing files.
 """
@@ -101,7 +105,7 @@ def main(argv):
 
     # 3. README links the docs.
     for doc in ("docs/architecture.md", "docs/benchmarking.md",
-                "docs/figures.md"):
+                "docs/figures.md", "docs/defenses.md"):
         if doc not in readme_text:
             problems.append(f"README.md does not link {doc}")
 
@@ -124,6 +128,31 @@ def main(argv):
                     f"docs/figures.md: missing section for bench/{name} "
                     "(new figure/table bench without a catalogue entry)")
 
+    # 5. Every AttackKind slug has a playbook entry in docs/defenses.md.
+    defenses_doc = os.path.join(docs_dir, "defenses.md")
+    spec_cpp = os.path.join(root, "src", "scenario", "spec.cpp")
+    slugs = []
+    if not os.path.isfile(defenses_doc):
+        problems.append("docs/defenses.md is missing")
+    elif os.path.isfile(spec_cpp):
+        with open(spec_cpp) as f:
+            spec_text = f.read()
+        with open(defenses_doc) as f:
+            defenses_text = f.read()
+        # The slugs are the return values of to_string(AttackKind): every
+        # `case AttackKind::kX: return "slug";` arm, wherever it line-wraps.
+        slugs = re.findall(
+            r'case AttackKind::k\w+:\s*return\s*"([^"]+)"', spec_text)
+        if not slugs:
+            problems.append(
+                "tools/check_docs.py could not parse any AttackKind slug "
+                "from src/scenario/spec.cpp (to_string switch moved?)")
+        for slug in slugs:
+            if f"`{slug}`" not in defenses_text:
+                problems.append(
+                    f"docs/defenses.md: no playbook entry for attack kind "
+                    f"`{slug}` (new AttackKind without a defense row)")
+
     if problems:
         for p in problems:
             print(p)
@@ -131,7 +160,8 @@ def main(argv):
         return 1
     print(f"docs OK: {len(doc_files)} doc file(s), "
           f"{len(subdirs)} src/ subsystems all mapped, "
-          f"{len(benches)} bench artefacts catalogued, README linked")
+          f"{len(benches)} bench artefacts catalogued, "
+          f"{len(slugs)} attack kinds in the playbook, README linked")
     return 0
 
 
